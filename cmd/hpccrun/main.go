@@ -1,0 +1,167 @@
+// Command hpccrun exercises the HPCC set: it times the real DGEMM tiers
+// and the FFT tiers on the host (demonstrating the optimization ladder
+// functionally), runs the HPL correctness protocol, and prints the
+// modeled Figures 8-9.
+//
+// Usage:
+//
+//	hpccrun [-n 256] [-threads 4] [-dgemm|-hpl|-fft]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"ookami/internal/blas"
+	"ookami/internal/fft"
+	"ookami/internal/figures"
+	"ookami/internal/hpcc"
+	"ookami/internal/mpi"
+	"ookami/internal/omp"
+	"ookami/internal/rng"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hpccrun: ")
+	n := flag.Int("n", 256, "matrix order / transform size exponent base")
+	threads := flag.Int("threads", 0, "worker threads")
+	dgemm := flag.Bool("dgemm", false, "only the DGEMM study")
+	hpl := flag.Bool("hpl", false, "only the HPL study")
+	fftOnly := flag.Bool("fft", false, "only the FFT study")
+	stream := flag.Bool("stream", false, "only the STREAM/RandomAccess study")
+	dist := flag.Bool("dist", false, "only the distributed (message-passing) HPL/FFT runs")
+	flag.Parse()
+	all := !*dgemm && !*hpl && !*fftOnly && !*stream && !*dist
+
+	team := omp.NewTeam(*threads)
+
+	if all || *dgemm {
+		runDgemm(team, *n)
+		fmt.Println(figures.Fig8())
+	}
+	if all || *hpl {
+		runHPL(team, *n)
+		fmt.Println(figures.Fig9AB())
+	}
+	if all || *fftOnly {
+		runFFT(team)
+		fmt.Println(figures.Fig9CD())
+	}
+	if all || *stream {
+		runStream(team)
+	}
+	if all || *dist {
+		runDistributed(*n)
+	}
+}
+
+// runDistributed exercises the functionally distributed HPL and FFT on
+// simulated ranks, reporting residuals and the communication volume that
+// drives the Figure 9 multi-node models.
+func runDistributed(n int) {
+	fmt.Println("distributed runs (ranks = goroutines, internal/mpi):")
+	for _, ranks := range []int{1, 2, 4} {
+		resid, w, err := mpi.DistHPL(ranks, n, 2026)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  HPL n=%d on %d ranks: scaled residual %.3f, traffic %d bytes\n",
+			n, ranks, resid, w.TotalBytes())
+	}
+	const r, c = 64, 64
+	x := make([]complex128, r*c)
+	g := rng.NewLCG(5)
+	for i := range x {
+		x[i] = complex(g.Next()-0.5, g.Next()-0.5)
+	}
+	for _, ranks := range []int{1, 2, 4} {
+		_, w, err := mpi.DistFFT(ranks, x, r, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  FFT %dx%d on %d ranks: transpose traffic %d bytes\n", r, c, ranks, w.TotalBytes())
+	}
+	fmt.Println()
+}
+
+func runStream(team *omp.Team) {
+	fmt.Printf("host STREAM (%d threads):\n", team.Size())
+	for _, r := range hpcc.RunStream(team, 1<<22, 5) {
+		fmt.Printf("  %s\n", r)
+	}
+	g := hpcc.RunGUPS(team, 20, 1<<22)
+	fmt.Printf("host RandomAccess: %.4f GUPS, error fraction %.4f\n\n", g.GUPS, g.ErrorFrac)
+	fmt.Println("modeled STREAM triad / GUPS at full node:")
+	for _, sys := range []hpcc.System{hpcc.Ookami, hpcc.StampedeSKX, hpcc.StampedeKNL, hpcc.Bridges2} {
+		fmt.Printf("  %-14s %7.0f GB/s   %.3f GUPS\n", sys.Label,
+			hpcc.ModelStreamTriad(sys.M, sys.M.Cores), hpcc.ModelGUPS(sys.M, sys.M.Cores))
+	}
+	fmt.Println()
+}
+
+func runDgemm(team *omp.Team, n int) {
+	g := rng.NewLCG(7)
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := range a {
+		a[i] = g.Next() - 0.5
+		b[i] = g.Next() - 0.5
+	}
+	tiers := []struct {
+		name string
+		fn   blas.Dgemm
+	}{
+		{"naive (OpenBLAS-unopt tier)", blas.DgemmNaive},
+		{"blocked (ARMPL tier)", blas.DgemmBlocked},
+		{"packed+micro (Fujitsu tier)", blas.DgemmPacked},
+	}
+	fmt.Printf("host DGEMM n=%d, %d threads:\n", n, team.Size())
+	flops := blas.FlopsDgemm(n)
+	for _, tier := range tiers {
+		c := make([]float64, n*n)
+		t0 := time.Now()
+		tier.fn(team, n, a, b, c)
+		dt := time.Since(t0)
+		fmt.Printf("  %-28s %8v  %7.2f GFLOP/s\n", tier.name, dt, flops/dt.Seconds()/1e9)
+	}
+	fmt.Println()
+}
+
+func runHPL(team *omp.Team, n int) {
+	t0 := time.Now()
+	resid, err := blas.HPLResidual(team, n, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("host HPL protocol n=%d: scaled residual %.3f (pass < 16), wall %v\n\n",
+		n, resid, time.Since(t0))
+}
+
+func runFFT(team *omp.Team) {
+	const n = 1 << 16
+	g := rng.NewLCG(9)
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(g.Next()-0.5, g.Next()-0.5)
+	}
+	t0 := time.Now()
+	if _, err := fft.Simple(x); err != nil {
+		log.Fatal(err)
+	}
+	tSimple := time.Since(t0)
+	p, err := fft.NewPlan(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	y := append([]complex128(nil), x...)
+	t0 = time.Now()
+	if err := p.Transform(team, y); err != nil {
+		log.Fatal(err)
+	}
+	tPlan := time.Since(t0)
+	fmt.Printf("host FFT n=%d: textbook %v, planned %v (%.1fx)\n\n",
+		n, tSimple, tPlan, tSimple.Seconds()/tPlan.Seconds())
+}

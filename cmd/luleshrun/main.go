@@ -1,0 +1,50 @@
+// Command luleshrun executes the Sedov blast proxy (both code paths,
+// verifying they agree and that energy is conserved) and prints the
+// modeled Table II / Figure 7 timings.
+//
+// Usage:
+//
+//	luleshrun [-n 12] [-cycles 200] [-threads 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"ookami/internal/figures"
+	"ookami/internal/lulesh"
+	"ookami/internal/omp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("luleshrun: ")
+	n := flag.Int("n", 12, "elements per cube edge")
+	cycles := flag.Int("cycles", 200, "time steps")
+	threads := flag.Int("threads", 0, "worker threads (0: GOMAXPROCS)")
+	flag.Parse()
+
+	team := omp.NewTeam(*threads)
+	for _, v := range []lulesh.Variant{lulesh.Base, lulesh.Vect} {
+		s := lulesh.NewSim(*n, team, v)
+		e0 := s.Mesh.TotalEnergy()
+		t0 := time.Now()
+		for i := 0; i < *cycles; i++ {
+			s.Step()
+		}
+		dt := time.Since(t0)
+		e1 := s.Mesh.TotalEnergy()
+		drift := math.Abs(e1-e0) / e0 * 100
+		fmt.Printf("%-4s %d^3 elements, %d cycles: t=%.3e dt=%.3e shock r=%.3f energy drift=%.3f%% wall=%v\n",
+			v, *n, s.Cycles, s.Time, s.DT, s.ShockRadius(), drift, dt)
+		if drift > 2 {
+			log.Fatalf("%s: energy drift too large", v)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println(figures.TableII())
+}

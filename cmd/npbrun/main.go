@@ -1,0 +1,71 @@
+// Command npbrun executes the NAS Parallel Benchmark implementations
+// (really runs them, with verification) and prints the model's Figure 3-6
+// predictions for class C.
+//
+// Usage:
+//
+//	npbrun [-bench EP] [-class S] [-threads 4] [-model]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"ookami/internal/figures"
+	"ookami/internal/npb"
+	"ookami/internal/omp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("npbrun: ")
+	bench := flag.String("bench", "all", "benchmark to run: BT, CG, EP, LU, SP, UA or all")
+	class := flag.String("class", "S", "problem class: S, W, A (larger classes take long in emulation)")
+	threads := flag.Int("threads", 0, "worker threads (0: GOMAXPROCS)")
+	model := flag.Bool("model", true, "print the class C model figures afterwards")
+	flag.Parse()
+
+	team := omp.NewTeam(*threads)
+	up := strings.ToUpper(*class)
+	if len(up) != 1 || !strings.Contains("SWABC", up) {
+		log.Fatalf("unknown class %q (use S, W, A, B or C)", *class)
+	}
+	cls := npb.Class(up[0])
+	if cls == npb.ClassB || cls == npb.ClassC {
+		log.Printf("warning: class %s under emulation takes a long time", cls)
+	}
+
+	var todo []npb.Benchmark
+	if *bench == "all" {
+		todo = npb.Suite()
+	} else {
+		b, err := npb.ByName(strings.ToUpper(*bench))
+		if err != nil {
+			log.Fatal(err)
+		}
+		todo = []npb.Benchmark{b}
+	}
+
+	fmt.Printf("running class %s with %d threads:\n", cls, team.Size())
+	for _, b := range todo {
+		t0 := time.Now()
+		res, err := b.Run(cls, team)
+		dt := time.Since(t0)
+		if err != nil {
+			log.Fatalf("%s FAILED verification: %v", b.Name(), err)
+		}
+		fmt.Printf("  %-3s verified=%v checksum=%-18.10g wall=%v\n",
+			res.Benchmark, res.Verified, res.Checksum, dt)
+	}
+
+	if *model {
+		fmt.Println()
+		fmt.Println(figures.Fig3())
+		fmt.Println(figures.Fig4())
+		fmt.Println(figures.Fig5())
+		fmt.Println(figures.Fig6())
+	}
+}

@@ -1,0 +1,84 @@
+// Command ookami-figures regenerates every table and figure of the
+// paper's evaluation section and prints them (optionally also writing
+// text and CSV files to a results directory).
+//
+// Usage:
+//
+//	ookami-figures [-out results/] [-only fig1,fig2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ookami/internal/figures"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ookami-figures: ")
+	out := flag.String("out", "", "directory to write .txt and .csv files (empty: stdout only)")
+	only := flag.String("only", "", "comma-separated figure ids to generate (default: all)")
+	extras := flag.Bool("extras", false, "also generate the ablation studies beyond the paper")
+	scorecard := flag.Bool("scorecard", false, "print the paper-vs-model audit scorecard and exit")
+	flag.Parse()
+
+	if *scorecard {
+		fmt.Println(figures.Scorecard())
+		return
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	items := figures.All()
+	if *extras {
+		items = append(items, figures.Extras()...)
+	}
+	n := 0
+	for _, item := range items {
+		if len(want) > 0 && !want[item.ID] {
+			continue
+		}
+		tab := item.Generate()
+		fmt.Println(tab)
+		if *out != "" {
+			base := filepath.Join(*out, item.ID)
+			if err := os.WriteFile(base+".txt", []byte(tab.String()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(base+".csv", []byte(tab.CSV()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		n++
+	}
+	if n == 0 {
+		log.Fatalf("no figures matched %q; known ids:\n  %s", *only, knownIDs())
+	}
+	if *out != "" {
+		log.Printf("wrote %d artifacts to %s", n, *out)
+	}
+}
+
+func knownIDs() string {
+	var ids []string
+	for _, item := range figures.All() {
+		ids = append(ids, item.ID)
+	}
+	return strings.Join(ids, ", ")
+}

@@ -1,0 +1,45 @@
+// Montecarlo: the teaching example that opens the paper's Section III.
+//
+// The naive three-line Metropolis loop is serial, branchy, and calls the
+// scalar exponential twice per step — on a CPU it exposes the full
+// latency of everything it touches. The optimized form applies the
+// paper's prescription: an outer loop over independent chains split for
+// thread and vector parallelism, scalars promoted to vectors, the if-test
+// predicated, the exponentials vectorized, and a splittable counter RNG.
+//
+//	go run ./examples/montecarlo
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ookami/internal/montecarlo"
+	"ookami/internal/omp"
+)
+
+func main() {
+	const samples = 1 << 21
+	exact := montecarlo.ExactMean()
+	fmt.Printf("target: E[x] over the truncated exponential = %.9f\n\n", exact)
+
+	t0 := time.Now()
+	naive := montecarlo.Naive(samples, 271828183)
+	tNaive := time.Since(t0)
+	fmt.Printf("naive serial loop:  mean %.6f (err %.1e)  wall %v\n",
+		naive, math.Abs(naive-exact), tNaive)
+
+	team := omp.NewTeam(0)
+	chains := 1024
+	steps := samples / chains
+	t0 = time.Now()
+	opt := montecarlo.Optimized(team, chains, steps, 99)
+	tOpt := time.Since(t0)
+	fmt.Printf("restructured (%d chains x %d steps, %d threads): mean %.6f (err %.1e)  wall %v\n",
+		chains, steps, team.Size(), opt, math.Abs(opt-exact), tOpt)
+
+	fmt.Println("\nThe restructuring is what Section III is about: on real SVE")
+	fmt.Println("hardware the optimized form vectorizes and threads; under this")
+	fmt.Println("emulation both paths compute the same statistics, verified above.")
+}

@@ -1,0 +1,68 @@
+// Npbscaling: a what-if study with the performance model.
+//
+// The paper's Figures 5-6 compare NPB scaling on the real A64FX and
+// Skylake. Because this reproduction's model is parametric, you can ask
+// counterfactual questions: what would SP's scaling look like if the
+// A64FX had twice the HBM bandwidth? What if its cache lines were 64
+// bytes like x86? This example runs both experiments.
+//
+//	go run ./examples/npbscaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ookami/internal/figures"
+	"ookami/internal/machine"
+	"ookami/internal/npb"
+	"ookami/internal/stats"
+	"ookami/internal/toolchain"
+)
+
+func main() {
+	sp, err := npb.ByName("SP")
+	if err != nil {
+		log.Fatal(err)
+	}
+	threads := figures.ScalingThreadsA64
+
+	curve := func(m machine.Machine) []float64 {
+		times := make([]float64, len(threads))
+		for i, p := range threads {
+			times[i] = figures.NPBTime(sp, toolchain.GNU, m, p, true)
+		}
+		return stats.Efficiency(threads, times)
+	}
+
+	stock := machine.A64FX
+
+	fatter := stock
+	fatter.Name = "Ookami-2xHBM"
+	fatter.MemBWNode = 2 * stock.MemBWNode
+	fatter.MemBWNodeRandom = 2 * stock.RandomBWNode()
+
+	thinLines := stock
+	thinLines.Name = "Ookami-64B-lines"
+	thinLines.CacheLineB = 64
+
+	t := stats.NewTable("What-if: SP (class C) parallel efficiency on A64FX variants",
+		append([]string{"machine"}, fmtThreads(threads)...)...)
+	for _, m := range []machine.Machine{stock, fatter, thinLines} {
+		t.AddNumericRow(m.Name, curve(m)...)
+	}
+	fmt.Println(t)
+
+	fmt.Println("Reading: doubling HBM lifts the 48-core efficiency because SP is")
+	fmt.Println("bandwidth-saturated; shrinking the cache line to 64 B helps almost as")
+	fmt.Println("much, because SP's strided sweeps waste 3/4 of every 256-byte line —")
+	fmt.Println("the same mechanism behind the paper's short-scatter observation.")
+}
+
+func fmtThreads(ts []int) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = fmt.Sprintf("p=%d", t)
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+// Quickstart: the ten-minute tour of the ookami library.
+//
+// It prints the A64FX's headline specification, regenerates one figure of
+// the paper (the math-function comparison that motivates the whole
+// study), and runs a real self-verifying benchmark.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ookami"
+)
+
+func main() {
+	// 1. The machine under study (Table III's first row).
+	m := ookami.A64FX
+	fmt.Printf("%s\n", m)
+	fmt.Printf("  %d CMGs x %d cores, %.0f GB/s HBM per CMG, ridge point %.1f flop/byte\n\n",
+		m.NUMANodes, m.CoresPerNUMA(), m.MemBWPerNUMA(), m.MachineIntensity())
+
+	// 2. Regenerate a paper figure: which toolchain should you use for
+	// math-heavy kernels on A64FX? (Spoiler: not the default GNU one.)
+	item, _ := ookami.Figure("fig2")
+	fmt.Println(item.Generate())
+
+	// 3. Run a real workload: the embarrassingly parallel NPB kernel,
+	// class S, on four worker threads — with its built-in verification.
+	team := ookami.NewTeam(4)
+	for _, b := range ookami.NPBSuite() {
+		if b.Name() != "EP" {
+			continue
+		}
+		res, err := b.Run(ookami.ClassS, team)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("NPB %s class %s: verified=%v, checksum %.10g\n",
+			res.Benchmark, res.Class, res.Verified, res.Checksum)
+	}
+}

@@ -1,0 +1,3 @@
+module ookami
+
+go 1.22

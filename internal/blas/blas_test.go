@@ -1,0 +1,181 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ookami/internal/omp"
+)
+
+func randMat(rng *rand.Rand, n int) []float64 {
+	m := make([]float64, n*n)
+	for i := range m {
+		m[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestDgemmTiersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	team := omp.NewTeam(3)
+	for _, n := range []int{1, 5, 16, 63, 64, 65, 100} {
+		a := randMat(rng, n)
+		b := randMat(rng, n)
+		cn := make([]float64, n*n)
+		cb := make([]float64, n*n)
+		cp := make([]float64, n*n)
+		DgemmNaive(team, n, a, b, cn)
+		DgemmBlocked(team, n, a, b, cb)
+		DgemmPacked(team, n, a, b, cp)
+		for i := range cn {
+			if math.Abs(cn[i]-cb[i]) > 1e-10*(1+math.Abs(cn[i])) {
+				t.Fatalf("n=%d blocked differs at %d: %v vs %v", n, i, cb[i], cn[i])
+			}
+			if math.Abs(cn[i]-cp[i]) > 1e-10*(1+math.Abs(cn[i])) {
+				t.Fatalf("n=%d packed differs at %d: %v vs %v", n, i, cp[i], cn[i])
+			}
+		}
+	}
+}
+
+func TestDgemmAccumulates(t *testing.T) {
+	team := omp.NewTeam(2)
+	n := 8
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		a[i*n+i] = 1
+		b[i*n+i] = 2
+		c[i*n+i] = 5
+	}
+	DgemmPacked(team, n, a, b, c)
+	if c[0] != 7 { // 5 + 1*2
+		t.Errorf("accumulate failed: %v", c[0])
+	}
+}
+
+func TestDgemmKnownProduct(t *testing.T) {
+	team := omp.NewTeam(1)
+	// 2x2: [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50].
+	a := []float64{1, 2, 3, 4}
+	b := []float64{5, 6, 7, 8}
+	c := make([]float64, 4)
+	DgemmBlocked(team, 2, a, b, c)
+	want := []float64{19, 22, 43, 50}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c[%d] = %v want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestLUFactorSolveRoundTrip(t *testing.T) {
+	team := omp.NewTeam(4)
+	rng := rand.New(rand.NewSource(22))
+	for _, n := range []int{1, 2, 7, 32, 33, 100} {
+		a := randMat(rng, n)
+		a0 := append([]float64(nil), a...)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		// b = A x.
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += a0[i*n+j] * x[j]
+			}
+			b[i] = s
+		}
+		piv := make([]int, n)
+		if err := LUFactor(team, n, a, piv, 8); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		LUSolve(n, a, piv, b)
+		for i := range x {
+			if math.Abs(b[i]-x[i]) > 1e-8*(1+math.Abs(x[i])) {
+				t.Fatalf("n=%d: x[%d] = %v want %v", n, i, b[i], x[i])
+			}
+		}
+	}
+}
+
+func TestLUSingularDetected(t *testing.T) {
+	team := omp.NewTeam(1)
+	n := 4
+	a := make([]float64, n*n) // all zeros
+	piv := make([]int, n)
+	if err := LUFactor(team, n, a, piv, 2); err == nil {
+		t.Error("singular matrix not detected")
+	}
+}
+
+func TestLUPivotingNeeded(t *testing.T) {
+	// Zero leading pivot: only partial pivoting can factor this.
+	team := omp.NewTeam(1)
+	a := []float64{
+		0, 1, 0,
+		1, 0, 0,
+		0, 0, 2,
+	}
+	piv := make([]int, 3)
+	if err := LUFactor(team, 3, a, piv, 2); err != nil {
+		t.Fatalf("pivoted factorization failed: %v", err)
+	}
+	b := []float64{3, 4, 6}
+	LUSolve(3, a, piv, b)
+	want := []float64{4, 3, 3}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Fatalf("x[%d] = %v want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestHPLResidualProtocol(t *testing.T) {
+	// The HPL acceptance criterion: scaled residual O(1) (typically < 16).
+	team := omp.NewTeam(4)
+	r, err := HPLResidual(team, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 16 {
+		t.Errorf("scaled residual %v exceeds the HPL threshold", r)
+	}
+	if r == 0 {
+		t.Error("residual suspiciously exactly zero")
+	}
+}
+
+func TestLUThreadInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 60
+	a := randMat(rng, n)
+	a1 := append([]float64(nil), a...)
+	a2 := append([]float64(nil), a...)
+	p1 := make([]int, n)
+	p2 := make([]int, n)
+	if err := LUFactor(omp.NewTeam(1), n, a1, p1, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := LUFactor(omp.NewTeam(6), n, a2, p2, 16); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("thread-count dependence at %d", i)
+		}
+	}
+}
+
+func TestFlopCounts(t *testing.T) {
+	if FlopsDgemm(100) != 2e6 {
+		t.Error("dgemm flops")
+	}
+	if got, want := FlopsLU(3), 2.0/3.0*27+2*9; math.Abs(got-want) > 1e-12 {
+		t.Errorf("lu flops = %v want %v", got, want)
+	}
+}

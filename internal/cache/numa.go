@@ -1,0 +1,93 @@
+package cache
+
+// A discrete NUMA bandwidth simulator: pages live on NUMA domains (CMGs),
+// each domain's memory controller serves requests at a fixed rate, and
+// remote requests pay an interconnect toll. It validates, by simulation,
+// the CMG-0 placement penalty the node-level model charges analytically
+// (perfmodel.effectiveBW): when every page sits on one CMG, that CMG's
+// controller serializes the whole machine's traffic.
+
+// NUMASim simulates request service across NUMA domains.
+type NUMASim struct {
+	Domains int
+	// RatePerDomain is each controller's service rate, bytes per cycle.
+	RatePerDomain float64
+	// RemoteFactor inflates the cost of serving a request from a remote
+	// domain (ring/mesh hop overhead).
+	RemoteFactor float64
+}
+
+// A64FXNUMA returns the four-CMG A64FX: 256 GB/s per CMG at 1.8 GHz is
+// ~142 bytes/cycle per domain.
+func A64FXNUMA() NUMASim {
+	return NUMASim{Domains: 4, RatePerDomain: 142, RemoteFactor: 1.3}
+}
+
+// Access is one thread-group's traffic demand: bytes requested per page
+// placement domain.
+type Access struct {
+	FromDomain int // requesting core's domain
+	ToDomain   int // page's home domain
+	Bytes      float64
+}
+
+// ServiceCycles computes how many cycles the controllers need to serve
+// the given accesses: each home domain serializes its own queue, remote
+// requests cost RemoteFactor more, and the answer is the slowest
+// controller (the machine waits for its hottest memory controller).
+func (s NUMASim) ServiceCycles(accesses []Access) float64 {
+	load := make([]float64, s.Domains)
+	for _, a := range accesses {
+		cost := a.Bytes
+		if a.FromDomain != a.ToDomain {
+			cost *= s.RemoteFactor
+		}
+		load[a.ToDomain] += cost
+	}
+	worst := 0.0
+	for _, l := range load {
+		if c := l / s.RatePerDomain; c > worst {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// EffectiveBandwidth returns the aggregate bytes/cycle the placement
+// sustains for a uniform all-threads workload of totalBytes distributed
+// per `placement`: placement[d] is the fraction of pages homed on domain
+// d. Threads are assumed spread evenly across domains.
+func (s NUMASim) EffectiveBandwidth(totalBytes float64, placement []float64) float64 {
+	var accesses []Access
+	perDomain := totalBytes / float64(s.Domains)
+	for from := 0; from < s.Domains; from++ {
+		for to := 0; to < s.Domains; to++ {
+			accesses = append(accesses, Access{
+				FromDomain: from, ToDomain: to,
+				Bytes: perDomain * placement[to],
+			})
+		}
+	}
+	cycles := s.ServiceCycles(accesses)
+	if cycles == 0 {
+		return 0
+	}
+	return totalBytes / cycles
+}
+
+// FirstTouchPlacement is the even distribution parallel initialization
+// produces.
+func (s NUMASim) FirstTouchPlacement() []float64 {
+	p := make([]float64, s.Domains)
+	for i := range p {
+		p[i] = 1 / float64(s.Domains)
+	}
+	return p
+}
+
+// CMG0Placement is the Fujitsu default: every page on domain 0.
+func (s NUMASim) CMG0Placement() []float64 {
+	p := make([]float64, s.Domains)
+	p[0] = 1
+	return p
+}

@@ -1,0 +1,103 @@
+package cache
+
+import (
+	"math"
+	"testing"
+
+	"ookami/internal/machine"
+	"ookami/internal/omp"
+	"ookami/internal/perfmodel"
+)
+
+func TestNUMAServiceCycles(t *testing.T) {
+	s := NUMASim{Domains: 2, RatePerDomain: 100, RemoteFactor: 1.5}
+	// Local-only: 1000 bytes to domain 0 takes 10 cycles.
+	if got := s.ServiceCycles([]Access{{0, 0, 1000}}); got != 10 {
+		t.Errorf("local cycles %v", got)
+	}
+	// Remote costs 1.5x.
+	if got := s.ServiceCycles([]Access{{1, 0, 1000}}); got != 15 {
+		t.Errorf("remote cycles %v", got)
+	}
+	// Balanced load across two controllers halves the time.
+	both := s.ServiceCycles([]Access{{0, 0, 1000}, {1, 1, 1000}})
+	if both != 10 {
+		t.Errorf("balanced cycles %v", both)
+	}
+	if s.ServiceCycles(nil) != 0 {
+		t.Error("empty")
+	}
+}
+
+func TestCMG0PenaltySimulated(t *testing.T) {
+	// The simulated first-touch vs CMG-0 bandwidth ratio on the A64FX
+	// topology must land near the analytic model's charge: first-touch
+	// uses all four controllers, CMG-0 serializes on one (with a modest
+	// remote surcharge) — a ~3.5-4.5x penalty.
+	s := A64FXNUMA()
+	const total = 1e9
+	ft := s.EffectiveBandwidth(total, s.FirstTouchPlacement())
+	c0 := s.EffectiveBandwidth(total, s.CMG0Placement())
+	ratio := ft / c0
+	if ratio < 3 || ratio > 5.5 {
+		t.Errorf("simulated CMG0 penalty %.2fx, want ~4x", ratio)
+	}
+	// First-touch approaches the aggregate rate (remote quarter-traffic
+	// pays the surcharge).
+	if ft < 0.6*142*4 || ft > 142*4 {
+		t.Errorf("first-touch bandwidth %v bytes/cycle, aggregate is %v", ft, 142*4)
+	}
+	// CMG-0 is capped by one controller.
+	if c0 > 142 {
+		t.Errorf("CMG0 bandwidth %v exceeds one controller's rate", c0)
+	}
+}
+
+func TestSimulatedPenaltyMatchesAnalyticModel(t *testing.T) {
+	// Cross-validation: the perfmodel charges SP's CMG-0 run ~3.3x at 48
+	// threads through its closed-form bandwidth blend; the discrete NUMA
+	// simulation must agree within ~40%.
+	s := A64FXNUMA()
+	simRatio := s.EffectiveBandwidth(1e9, s.FirstTouchPlacement()) /
+		s.EffectiveBandwidth(1e9, s.CMG0Placement())
+
+	app := perfmodel.AppProfile{Name: "stream", Flops: 1, StreamBytes: 1e12}
+	ft := perfmodel.NodeTime(machine.A64FX, app,
+		perfmodel.ExecParams{CyclesPerFlop: 1e-12, Placement: perfmodel.FirstTouch}, 48)
+	c0 := perfmodel.NodeTime(machine.A64FX, app,
+		perfmodel.ExecParams{CyclesPerFlop: 1e-12, Placement: perfmodel.CMG0}, 48)
+	modelRatio := c0 / ft
+
+	if simRatio/modelRatio > 1.4 || modelRatio/simRatio > 1.4 {
+		t.Errorf("simulated penalty %.2fx vs analytic %.2fx: diverged", simRatio, modelRatio)
+	}
+}
+
+func TestPageTrackerFeedsNUMASim(t *testing.T) {
+	// End-to-end: run a parallel first-touch with the omp tracker, feed
+	// the measured page distribution into the NUMA simulation, and check
+	// it sustains near-peak bandwidth; then the serial-init distribution,
+	// which must collapse to one controller.
+	m := machine.A64FX
+	s := A64FXNUMA()
+	const n = 1 << 20
+	team := omp.NewTeam(48)
+
+	ft := omp.NewPageTracker(n, 8)
+	team.ForRange(0, n, omp.Static, 0, func(a, b int) {
+		tid := a * team.Size() / n
+		ft.TouchRange(a, b, m.NUMAOf(tid))
+	})
+	bwFT := s.EffectiveBandwidth(1e9, ft.Distribution(s.Domains))
+
+	serial := omp.NewPageTracker(n, 8)
+	serial.TouchRange(0, n, 0)
+	bwSerial := s.EffectiveBandwidth(1e9, serial.Distribution(s.Domains))
+
+	if bwFT/bwSerial < 3 {
+		t.Errorf("measured-placement penalty %.2fx, want ~4x", bwFT/bwSerial)
+	}
+	if math.IsNaN(bwFT) || math.IsNaN(bwSerial) {
+		t.Error("NaN bandwidth")
+	}
+}

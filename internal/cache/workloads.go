@@ -1,0 +1,41 @@
+package cache
+
+// Access-pattern drivers for the studies the simulator validates.
+
+// StreamSweep simulates a contiguous read of n float64s starting at base.
+func StreamSweep(h *Hierarchy, base uint64, n int) {
+	for i := 0; i < n; i++ {
+		h.Access(base+uint64(8*i), 8)
+	}
+}
+
+// StridedSweep simulates reading n float64s with the given element stride
+// — the access shape of SP's y/z line solves (stride = plane size).
+func StridedSweep(h *Hierarchy, base uint64, n, stride int) {
+	for i := 0; i < n; i++ {
+		h.Access(base+uint64(8*i*stride), 8)
+	}
+}
+
+// GatherSweep simulates indexed reads x[idx[i]] from an array at base.
+func GatherSweep(h *Hierarchy, base uint64, idx []int64) {
+	for _, j := range idx {
+		h.Access(base+uint64(8*j), 8)
+	}
+}
+
+// TrafficAmplification runs the same logical access pattern through two
+// hierarchies and returns the ratio of their memory traffic — the
+// quantity the performance model's StridedBytes scaling stands for.
+func TrafficAmplification(pattern func(h *Hierarchy), a, b *Hierarchy) float64 {
+	a.Reset()
+	b.Reset()
+	pattern(a)
+	memA := a.MemoryBytes()
+	pattern(b)
+	memB := b.MemoryBytes()
+	if memB == 0 {
+		return 0
+	}
+	return float64(memA) / float64(memB)
+}

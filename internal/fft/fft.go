@@ -1,0 +1,158 @@
+// Package fft implements the complex double-precision FFT under the HPCC
+// FFT experiment, in the two tiers the paper compares: a straightforward
+// textbook radix-2 transform (the unoptimized-FFTW stand-in) and an
+// optimized transform with precomputed twiddle tables, bit-reversal
+// permutation and threaded passes (the Fujitsu-FFTW tier). A direct DFT
+// provides the correctness oracle.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"ookami/internal/omp"
+)
+
+// NaiveDFT computes the DFT directly in O(n^2); the verification oracle.
+func NaiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// Simple is the textbook recursive radix-2 FFT: twiddles recomputed on the
+// fly, fresh allocations at every level — the unoptimized tier.
+func Simple(x []complex128) ([]complex128, error) {
+	n := len(x)
+	if n&(n-1) != 0 || n == 0 {
+		return nil, fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	return simpleRec(x), nil
+}
+
+func simpleRec(x []complex128) []complex128 {
+	n := len(x)
+	if n == 1 {
+		return []complex128{x[0]}
+	}
+	even := make([]complex128, n/2)
+	odd := make([]complex128, n/2)
+	for i := 0; i < n/2; i++ {
+		even[i] = x[2*i]
+		odd[i] = x[2*i+1]
+	}
+	fe := simpleRec(even)
+	fo := simpleRec(odd)
+	out := make([]complex128, n)
+	for k := 0; k < n/2; k++ {
+		w := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+		out[k] = fe[k] + w*fo[k]
+		out[k+n/2] = fe[k] - w*fo[k]
+	}
+	return out
+}
+
+// Plan is a reusable transform plan: precomputed twiddle factors and
+// bit-reversal table for a fixed power-of-two size (the FFTW idiom).
+type Plan struct {
+	n       int
+	rev     []int
+	twiddle []complex128 // per stage, concatenated
+	stageAt []int        // offset of each stage's twiddles
+}
+
+// NewPlan prepares a plan for length n (a power of two).
+func NewPlan(n int) (*Plan, error) {
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	p := &Plan{n: n, rev: make([]int, n)}
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	for i := 0; i < n; i++ {
+		r := 0
+		for b := 0; b < bits; b++ {
+			if i&(1<<b) != 0 {
+				r |= 1 << (bits - 1 - b)
+			}
+		}
+		p.rev[i] = r
+	}
+	for size := 2; size <= n; size <<= 1 {
+		p.stageAt = append(p.stageAt, len(p.twiddle))
+		half := size / 2
+		for k := 0; k < half; k++ {
+			p.twiddle = append(p.twiddle,
+				cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(size))))
+		}
+	}
+	return p, nil
+}
+
+// Transform runs the planned FFT in place on x (length must equal the plan
+// size), optionally threading the butterfly passes across team.
+func (p *Plan) Transform(team *omp.Team, x []complex128) error {
+	if len(x) != p.n {
+		return fmt.Errorf("fft: input length %d != plan size %d", len(x), p.n)
+	}
+	// Bit-reversal permutation.
+	for i, r := range p.rev {
+		if i < r {
+			x[i], x[r] = x[r], x[i]
+		}
+	}
+	stage := 0
+	for size := 2; size <= p.n; size <<= 1 {
+		half := size / 2
+		tw := p.twiddle[p.stageAt[stage] : p.stageAt[stage]+half]
+		blocks := p.n / size
+		run := func(b0, b1 int) {
+			for b := b0; b < b1; b++ {
+				base := b * size
+				for k := 0; k < half; k++ {
+					u := x[base+k]
+					v := x[base+k+half] * tw[k]
+					x[base+k] = u + v
+					x[base+k+half] = u - v
+				}
+			}
+		}
+		if team != nil && blocks >= team.Size()*2 {
+			team.ForRange(0, blocks, omp.Static, 0, run)
+		} else {
+			run(0, blocks)
+		}
+		stage++
+	}
+	return nil
+}
+
+// Inverse runs the inverse transform in place (conjugate method, with
+// 1/n normalization).
+func (p *Plan) Inverse(team *omp.Team, x []complex128) error {
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := p.Transform(team, x); err != nil {
+		return err
+	}
+	scale := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * scale
+	}
+	return nil
+}
+
+// FlopsFFT returns the usual 5 n log2(n) operation count HPCC reports.
+func FlopsFFT(n float64) float64 { return 5 * n * math.Log2(n) }

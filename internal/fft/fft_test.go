@@ -1,0 +1,191 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"ookami/internal/omp"
+)
+
+func randSignal(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxErr(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestSimpleMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		x := randSignal(rng, n)
+		want := NaiveDFT(x)
+		got, err := Simple(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := maxErr(got, want); e > 1e-9*float64(n) {
+			t.Fatalf("n=%d: simple FFT error %v", n, e)
+		}
+	}
+}
+
+func TestPlanMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	team := omp.NewTeam(3)
+	for _, n := range []int{2, 16, 128, 1024} {
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randSignal(rng, n)
+		want := NaiveDFT(x)
+		got := append([]complex128(nil), x...)
+		if err := p.Transform(team, got); err != nil {
+			t.Fatal(err)
+		}
+		if e := maxErr(got, want); e > 1e-9*float64(n) {
+			t.Fatalf("n=%d: planned FFT error %v", n, e)
+		}
+	}
+}
+
+func TestPlanAndSimpleAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n := 512
+	x := randSignal(rng, n)
+	s, _ := Simple(x)
+	p, _ := NewPlan(n)
+	y := append([]complex128(nil), x...)
+	if err := p.Transform(nil, y); err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(s, y); e > 1e-9 {
+		t.Fatalf("tiers disagree: %v", e)
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	team := omp.NewTeam(2)
+	n := 1024
+	p, _ := NewPlan(n)
+	x := randSignal(rng, n)
+	y := append([]complex128(nil), x...)
+	if err := p.Transform(team, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Inverse(team, y); err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(x, y); e > 1e-10 {
+		t.Fatalf("round trip error %v", e)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Energy conservation: sum |x|^2 = (1/n) sum |X|^2.
+	rng := rand.New(rand.NewSource(35))
+	n := 256
+	x := randSignal(rng, n)
+	var ex float64
+	for _, v := range x {
+		ex += real(v)*real(v) + imag(v)*imag(v)
+	}
+	p, _ := NewPlan(n)
+	if err := p.Transform(nil, x); err != nil {
+		t.Fatal(err)
+	}
+	var eX float64
+	for _, v := range x {
+		eX += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(ex-eX/float64(n)) > 1e-9*ex {
+		t.Errorf("Parseval violated: %v vs %v", ex, eX/float64(n))
+	}
+}
+
+func TestImpulseAndConstant(t *testing.T) {
+	n := 16
+	p, _ := NewPlan(n)
+	// Impulse -> flat spectrum of ones.
+	x := make([]complex128, n)
+	x[0] = 1
+	if err := p.Transform(nil, x); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse spectrum at %d: %v", k, v)
+		}
+	}
+	// Constant -> delta at DC with amplitude n.
+	for i := range x {
+		x[i] = 1
+	}
+	if err := p.Transform(nil, x); err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-complex(float64(n), 0)) > 1e-12 {
+		t.Errorf("DC bin %v", x[0])
+	}
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(x[k]) > 1e-12 {
+			t.Errorf("non-DC bin %d = %v", k, x[k])
+		}
+	}
+}
+
+func TestThreadInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	n := 2048
+	x := randSignal(rng, n)
+	p, _ := NewPlan(n)
+	a := append([]complex128(nil), x...)
+	b := append([]complex128(nil), x...)
+	if err := p.Transform(omp.NewTeam(1), a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Transform(omp.NewTeam(7), b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("thread-count dependence at %d", i)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := NewPlan(12); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if _, err := NewPlan(0); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := Simple(make([]complex128, 3)); err == nil {
+		t.Error("simple: non-power-of-two accepted")
+	}
+	p, _ := NewPlan(8)
+	if err := p.Transform(nil, make([]complex128, 4)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestFlopsFFT(t *testing.T) {
+	if got := FlopsFFT(8); got != 5*8*3 {
+		t.Errorf("FlopsFFT(8) = %v", got)
+	}
+}

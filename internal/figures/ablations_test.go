@@ -1,0 +1,234 @@
+package figures
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cellFloat(t *testing.T, tab interface{ Cell(int, int) string }, r, c int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(tab.Cell(r, c), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", r, c, s, err)
+	}
+	return v
+}
+
+func TestExtrasRegistry(t *testing.T) {
+	items := Extras()
+	if len(items) != 9 {
+		t.Fatalf("extras count %d", len(items))
+	}
+	for _, it := range items {
+		tab := it.Generate()
+		if tab == nil || len(tab.Rows) == 0 {
+			t.Errorf("%s empty", it.ID)
+		}
+	}
+}
+
+func TestWindowAblationMonotone(t *testing.T) {
+	tab := WindowAblation()
+	// Larger window never hurts, and the spread from 16 to 256 entries is
+	// substantial (the latency chain is the bottleneck at small windows).
+	prev := cellFloat(t, tab, 0, 1)
+	first := prev
+	for r := 1; r < len(tab.Rows); r++ {
+		cur := cellFloat(t, tab, r, 1)
+		if cur > prev*1.02 {
+			t.Errorf("window row %d: %.2f worse than smaller window %.2f", r, cur, prev)
+		}
+		prev = cur
+	}
+	if first/prev < 1.5 {
+		t.Errorf("window sweep spread %.2f too small (%.2f -> %.2f)", first/prev, first, prev)
+	}
+	// Estrin wins while the window is the bottleneck (its chain is
+	// shallower); at very large windows both forms are throughput-bound
+	// and Estrin's extra multiply makes it marginally slower — the
+	// crossover is itself a finding of this ablation.
+	for r := 0; r < len(tab.Rows); r++ {
+		w, _ := strconv.Atoi(tab.Cell(r, 0))
+		h := cellFloat(t, tab, r, 1)
+		e := cellFloat(t, tab, r, 2)
+		if w <= 96 && e > h*1.01 {
+			t.Errorf("window %d: Estrin %.2f worse than Horner %.2f", w, e, h)
+		}
+	}
+}
+
+func TestUnrollAblationSaturates(t *testing.T) {
+	tab := UnrollAblation()
+	u1 := cellFloat(t, tab, 0, 1)
+	u2 := cellFloat(t, tab, 1, 1)
+	last := cellFloat(t, tab, len(tab.Rows)-1, 1)
+	if u2 >= u1 {
+		t.Errorf("unroll 2 (%.2f) should beat unroll 1 (%.2f)", u2, u1)
+	}
+	// Diminishing returns: the total gain stays bounded.
+	if u1/last > 2 {
+		t.Errorf("unroll gain %.2fx implausibly large", u1/last)
+	}
+}
+
+func TestSqrtStrategyAblation(t *testing.T) {
+	tab := SqrtStrategyAblation()
+	// Row 0: A64FX — blocking must be ~10x worse than Newton.
+	a64Penalty := cellFloat(t, tab, 0, 3)
+	if a64Penalty < 8 {
+		t.Errorf("A64FX blocking penalty %.1fx, want ~10x+", a64Penalty)
+	}
+	// Row 1: Skylake — the same choice costs little (< 3x).
+	skxPenalty := cellFloat(t, tab, 1, 3)
+	if skxPenalty > 3 {
+		t.Errorf("Skylake blocking penalty %.1fx, want small", skxPenalty)
+	}
+	if a64Penalty < 3*skxPenalty {
+		t.Errorf("the ablation's point: A64FX penalty (%.1f) >> Skylake (%.1f)",
+			a64Penalty, skxPenalty)
+	}
+}
+
+func TestGatherWindowAblationSaturatesAt2x(t *testing.T) {
+	tab := GatherWindowAblation()
+	// The 16-double (128-byte) row achieves the full 2x pairing.
+	var sp16, spLast float64
+	for r := 0; r < len(tab.Rows); r++ {
+		if tab.Cell(r, 0) == "16" {
+			sp16 = cellFloat(t, tab, r, 2)
+		}
+	}
+	spLast = cellFloat(t, tab, len(tab.Rows)-1, 2)
+	if sp16 < 1.9 {
+		t.Errorf("16-double window speedup %.2f, want ~2", sp16)
+	}
+	if spLast > 1.1 {
+		t.Errorf("full permutation speedup vs itself = %.2f, want ~1", spLast)
+	}
+	// Window 2: every pair is its own window only if aligned; speedup
+	// should be ~2 as well (pairs {2k, 2k+1} always share a window).
+	first := cellFloat(t, tab, 0, 2)
+	if first < 1.9 {
+		t.Errorf("2-double window speedup %.2f, want ~2", first)
+	}
+}
+
+func TestPlacementSweepGrowsWithThreads(t *testing.T) {
+	tab := PlacementSweep()
+	p1 := cellFloat(t, tab, 0, 3)
+	p48 := cellFloat(t, tab, len(tab.Rows)-1, 3)
+	if p1 > 1.1 {
+		t.Errorf("single-thread placement penalty %.2f, want ~1", p1)
+	}
+	if p48 < 2 {
+		t.Errorf("48-thread placement penalty %.2f, want >= 2", p48)
+	}
+	if p48 <= p1 {
+		t.Error("penalty should grow with thread count")
+	}
+}
+
+func TestChainLatencyAblationMonotone(t *testing.T) {
+	tab := ChainLatencyAblation()
+	prev := 0.0
+	for r := 0; r < len(tab.Rows); r++ {
+		cur := cellFloat(t, tab, r, 1)
+		if cur <= prev {
+			t.Fatalf("runtime should grow with FMA latency: row %d %.2f <= %.2f", r, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestMCStoryShape(t *testing.T) {
+	// "Over a 500-fold performance advantage for GPUs over CPUs" for the
+	// naive code — and the restructured CPU version closes the gap,
+	// which is the paper's point about fair hardware comparisons.
+	adv := GPUNaiveAdvantage()
+	if adv < 400 || adv > 900 {
+		t.Errorf("GPU naive advantage = %.0fx, want ~500+", adv)
+	}
+	rec := CPURestructuredRecovery()
+	if rec < 100 {
+		t.Errorf("restructured CPU recovery = %.0fx, want large", rec)
+	}
+	tab := MCStory()
+	if len(tab.Rows) != 3 {
+		t.Errorf("rows %d", len(tab.Rows))
+	}
+}
+
+func TestCacheLineAblationShape(t *testing.T) {
+	tab := CacheLineAblation()
+	// Contiguous stream: no amplification. Plane stride: exactly 4x.
+	if got := cellFloat(t, tab, 0, 3); got != 1 {
+		t.Errorf("stream amplification %v, want 1", got)
+	}
+	last := len(tab.Rows) - 1
+	if got := cellFloat(t, tab, last, 3); got != 4 {
+		t.Errorf("plane-stride amplification %v, want 4", got)
+	}
+	// Amplification grows monotonically with stride.
+	prev := 0.0
+	for r := 0; r < len(tab.Rows); r++ {
+		cur := cellFloat(t, tab, r, 3)
+		if cur < prev {
+			t.Errorf("row %d: amplification %v dropped below %v", r, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestGNUFriendlyKernelsShape(t *testing.T) {
+	tab := GNUFriendlyKernels()
+	// On the stencil, the worst/best toolchain spread stays small; on exp
+	// it is enormous (GNU's serial libm).
+	minS, maxS := 1e9, 0.0
+	minE, maxE := 1e9, 0.0
+	for r := range tab.Rows {
+		s := cellFloat(t, tab, r, 1)
+		e := cellFloat(t, tab, r, 2)
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+		if e < minE {
+			minE = e
+		}
+		if e > maxE {
+			maxE = e
+		}
+	}
+	if maxS/minS > 2 {
+		t.Errorf("stencil toolchain spread %.2fx, want small", maxS/minS)
+	}
+	if maxE/minE < 8 {
+		t.Errorf("exp toolchain spread %.2fx, want huge", maxE/minE)
+	}
+}
+
+func TestScorecardAllPass(t *testing.T) {
+	for _, c := range Claims() {
+		got, ok := c.Verdict()
+		if !ok {
+			t.Errorf("%s: %s — paper %v, model %v (band x%v)",
+				c.ID, c.Statement, c.Paper, got, c.Band)
+		}
+	}
+}
+
+func TestScorecardRenders(t *testing.T) {
+	tab := Scorecard()
+	if len(tab.Rows) != len(Claims()) {
+		t.Fatalf("rows %d claims %d", len(tab.Rows), len(Claims()))
+	}
+	for r := range tab.Rows {
+		if v := tab.Cell(r, 5); v != "PASS" {
+			t.Errorf("claim %s verdict %s", tab.Cell(r, 0), v)
+		}
+	}
+}

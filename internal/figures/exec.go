@@ -1,0 +1,109 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation: the vector-loop suite (Figs. 1-2), the Section IV
+// exponential study, the NPB results (Figs. 3-6), the LULESH timings
+// (Table II / Fig. 7), the system table (Table III) and the HPCC results
+// (Figs. 8-9). Each generator returns a stats.Table that can be rendered
+// as text or CSV, and the package's tests assert the paper's qualitative
+// shape for each one.
+package figures
+
+import (
+	"ookami/internal/machine"
+	"ookami/internal/perfmodel"
+	"ookami/internal/toolchain"
+)
+
+// vecQuality is the SIMD code-generation quality factor of each toolchain
+// on its target (fraction of the vector units' arithmetic throughput the
+// compiled loops sustain). GCC's A64FX backend is competitive — the paper
+// finds it best on most NPB kernels — while its missing math library is
+// accounted separately through MathCost.
+func vecQuality(tc toolchain.Toolchain) float64 {
+	switch tc.Name {
+	case toolchain.Fujitsu.Name:
+		return 0.34
+	case toolchain.Cray.Name:
+		return 0.31
+	case toolchain.Arm.Name:
+		return 0.27
+	case toolchain.GNU.Name:
+		return 0.36
+	default: // Intel
+		return 0.50
+	}
+}
+
+// scalarIPC is the sustained scalar instructions-per-cycle of compiled
+// scalar code (the A64FX's weak out-of-order core versus Skylake).
+func scalarIPC(m machine.Machine) float64 {
+	if m.ISA == machine.SVE {
+		return 1.0
+	}
+	return 2.5
+}
+
+// mathCostFor derives the per-call cycle cost of each math function for a
+// toolchain on a machine from the instruction-level model: the Figure 2
+// kernels are compiled and scheduled, and log is priced as exp plus one
+// refinement step (vector libraries implement them with the same
+// machinery).
+func mathCostFor(tc toolchain.Toolchain, m machine.Machine) map[perfmodel.MathFn]float64 {
+	prof, ok := perfmodel.ProfileFor(m.Name)
+	if !ok {
+		return nil
+	}
+	cost := make(map[perfmodel.MathFn]float64, 6)
+	for _, l := range toolchain.MathLoops {
+		fn, _ := l.MathFn()
+		cost[fn] = tc.Compile(l, m).CyclesPerElement(prof)
+	}
+	cost[perfmodel.FnLog] = cost[perfmodel.FnExp] * 1.15
+	return cost
+}
+
+// barrierCycles models the cost of one OpenMP barrier per runtime. The
+// ARM runtime's barriers measured noticeably more expensive on A64FX in
+// the paper's era, part of its BT/UA deviance.
+func barrierCycles(tc toolchain.Toolchain) float64 {
+	if tc.Name == toolchain.Arm.Name {
+		return 15000
+	}
+	return 5000
+}
+
+// irregularPenalty is the OpenMP-runtime slowdown factor on irregular,
+// dynamically scheduled loops (UA's rebuilt index lists): the Fujitsu and
+// ARM runtimes handled them poorly in the paper's measurements — the
+// residual deviance first-touch could not repair.
+func irregularPenalty(tc toolchain.Toolchain) float64 {
+	switch tc.Name {
+	case toolchain.Fujitsu.Name:
+		return 1.9
+	case toolchain.Arm.Name:
+		return 1.6
+	}
+	return 1.0
+}
+
+// ExecFor builds the node-level execution parameters for running an
+// application with vectorizable fraction vecFrac under toolchain tc on
+// machine m.
+func ExecFor(tc toolchain.Toolchain, m machine.Machine, vecFrac float64) perfmodel.ExecParams {
+	peakFlopsPerCycle := float64(2 * m.FMAPipes * m.VectorLanes64())
+	vec := vecFrac * peakFlopsPerCycle * vecQuality(tc)
+	scalar := (1 - vecFrac) * scalarIPC(m)
+	return perfmodel.ExecParams{
+		CyclesPerFlop: 1 / (vec + scalar),
+		MathCost:      mathCostFor(tc, m),
+		Placement:     tc.Placement,
+		BarrierCycles: barrierCycles(tc),
+	}
+}
+
+// ExecFirstTouch is ExecFor with the placement forced to first-touch (the
+// paper's "fujitsu-first-touch" bar in Figure 4).
+func ExecFirstTouch(tc toolchain.Toolchain, m machine.Machine, vecFrac float64) perfmodel.ExecParams {
+	e := ExecFor(tc, m, vecFrac)
+	e.Placement = perfmodel.FirstTouch
+	return e
+}

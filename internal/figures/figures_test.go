@@ -1,0 +1,375 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"ookami/internal/lulesh"
+	"ookami/internal/machine"
+	"ookami/internal/npb"
+	"ookami/internal/stats"
+	"ookami/internal/toolchain"
+	"ookami/internal/vmath"
+)
+
+func app(t *testing.T, name string) npb.Benchmark {
+	t.Helper()
+	b, err := npb.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRegistryComplete(t *testing.T) {
+	items := All()
+	if len(items) != 12 {
+		t.Fatalf("expected 12 artifacts, got %d", len(items))
+	}
+	seen := map[string]bool{}
+	for _, it := range items {
+		if seen[it.ID] {
+			t.Errorf("duplicate id %s", it.ID)
+		}
+		seen[it.ID] = true
+		tab := it.Generate()
+		if tab == nil || len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", it.ID)
+		}
+		if tab.CSV() == "" || tab.String() == "" {
+			t.Errorf("%s: unrenderable", it.ID)
+		}
+	}
+	if _, ok := ByID("fig1"); !ok {
+		t.Error("ByID miss")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID false positive")
+	}
+}
+
+// --- Section IV ---
+
+func TestExpLadderShape(t *testing.T) {
+	l := ExpLadder()
+	// The paper's ladder: GNU ~32, ARM ~6, Cray ~4.2, Fujitsu ~2.1,
+	// Intel ~1.6 cycles/element. Assert values within bands and ordering.
+	if l["GNU"] != 32 {
+		t.Errorf("GNU = %v, want the paper's measured 32", l["GNU"])
+	}
+	if !stats.WithinFactor(l["ARM"], 6, 1.35) {
+		t.Errorf("ARM = %v, want ~6", l["ARM"])
+	}
+	if !stats.WithinFactor(l["Cray"], 4.2, 1.35) {
+		t.Errorf("Cray = %v, want ~4.2", l["Cray"])
+	}
+	if !stats.WithinFactor(l["Fujitsu"], 2.1, 1.25) {
+		t.Errorf("Fujitsu = %v, want ~2.1", l["Fujitsu"])
+	}
+	if !stats.WithinFactor(l["Intel"], 1.6, 1.25) {
+		t.Errorf("Intel = %v, want ~1.6", l["Intel"])
+	}
+	if !(l["Intel"] < l["Fujitsu"] && l["Fujitsu"] < l["Cray"] &&
+		l["Cray"] < l["ARM"] && l["ARM"] < l["GNU"]) {
+		t.Errorf("ladder ordering broken: %v", l)
+	}
+}
+
+func TestKernelCyclesLadder(t *testing.T) {
+	// Paper: 2.2 (VLA), 2.0 (fixed), 1.9 (unrolled) cycles/element.
+	vla := KernelCycles(VLAStructure, toolchain.Horner)
+	fixed := KernelCycles(FixedStructure, toolchain.Horner)
+	unrolled := KernelCycles(UnrolledStructure, toolchain.Horner)
+	if !stats.WithinFactor(vla, 2.2, 1.15) {
+		t.Errorf("VLA = %.2f, want ~2.2", vla)
+	}
+	if !stats.WithinFactor(fixed, 2.0, 1.15) {
+		t.Errorf("fixed = %.2f, want ~2.0", fixed)
+	}
+	if !stats.WithinFactor(unrolled, 1.9, 1.15) {
+		t.Errorf("unrolled = %.2f, want ~1.9", unrolled)
+	}
+	if !(unrolled < fixed && fixed <= vla) {
+		t.Errorf("structure ordering broken: %.2f %.2f %.2f", vla, fixed, unrolled)
+	}
+	// "The Estrin form ... is slightly faster than the Horner form."
+	estrin := KernelCycles(UnrolledStructure, toolchain.Estrin)
+	if estrin >= unrolled {
+		t.Errorf("Estrin (%.2f) should beat Horner (%.2f)", estrin, unrolled)
+	}
+}
+
+func TestMeasuredUlpWithinPaperBound(t *testing.T) {
+	// "Limited testing suggests that it yields about 6 ulp precision."
+	u := MeasuredUlp(vmath.Horner, 50000)
+	if u > 6 {
+		t.Errorf("measured ulp %.1f exceeds the paper's ~6", u)
+	}
+	if u < 0.5 {
+		t.Errorf("measured ulp %.2f suspiciously exact", u)
+	}
+}
+
+// --- Figures 3-4 ---
+
+func TestFig3IntelWinsEverywhere(t *testing.T) {
+	// "Intel compiler outperforms all the compilers in A64FX by a huge
+	// margin (from 1.6X to 5.5X)" — biggest for compute-bound EP,
+	// narrowest for memory-bound apps.
+	ratios := map[string]float64{}
+	for _, name := range npbOrder {
+		a := app(t, name)
+		intel := NPBTime(a, toolchain.Intel, machine.SkylakeGold6140, 1, false)
+		best := -1.0
+		for _, tc := range toolchain.OnA64FX {
+			v := NPBTime(a, tc, machine.A64FX, 1, false)
+			if best < 0 || v < best {
+				best = v
+			}
+		}
+		r := best / intel
+		ratios[name] = r
+		if r < 1.05 {
+			t.Errorf("%s: best A64FX (%.1f) should trail Intel", name, r)
+		}
+		if r > 6 {
+			t.Errorf("%s: margin %.1f implausibly large", name, r)
+		}
+	}
+	if !(ratios["EP"] > ratios["BT"] || ratios["EP"] > 3) {
+		t.Errorf("EP margin (%.1f) should be among the largest", ratios["EP"])
+	}
+	if ratios["CG"] > 2.2 || ratios["SP"] > 2.2 {
+		t.Errorf("memory-bound margins should be narrow: CG %.1f SP %.1f",
+			ratios["CG"], ratios["SP"])
+	}
+}
+
+func TestFig3GCCBestOrComparable(t *testing.T) {
+	// "gcc seems to perform the best or comparable for 5 of the 6 apps
+	// except for EP" (where it is ~3x worse).
+	for _, name := range npbOrder {
+		a := app(t, name)
+		gnu := NPBTime(a, toolchain.GNU, machine.A64FX, 1, false)
+		best := gnu
+		for _, tc := range toolchain.OnA64FX {
+			if v := NPBTime(a, tc, machine.A64FX, 1, false); v < best {
+				best = v
+			}
+		}
+		if name == "EP" {
+			if gnu/best < 2 || gnu/best > 4.5 {
+				t.Errorf("EP: GNU should be ~3x worse, got %.1fx", gnu/best)
+			}
+			continue
+		}
+		if gnu/best > 1.1 {
+			t.Errorf("%s: GNU (%.3g) should be best or comparable (best %.3g)", name, gnu, best)
+		}
+	}
+}
+
+func TestFig4MemoryBoundAppsFavorA64FX(t *testing.T) {
+	// "in some cases it outperforms Skylake (SP and UA) ... A64FX performs
+	// well in memory-bound applications while Skylake wins out in
+	// compute-bound applications."
+	for _, name := range []string{"SP", "UA", "CG"} {
+		a := app(t, name)
+		a64 := NPBTime(a, toolchain.GNU, machine.A64FX, 48, false)
+		skx := NPBTime(a, toolchain.Intel, machine.SkylakeGold6140, 36, false)
+		if a64 >= skx {
+			t.Errorf("%s all-core: A64FX (%.2f) should beat Skylake (%.2f)", name, a64, skx)
+		}
+	}
+	for _, name := range []string{"EP", "BT"} {
+		a := app(t, name)
+		a64 := NPBTime(a, toolchain.GNU, machine.A64FX, 48, false)
+		skx := NPBTime(a, toolchain.Intel, machine.SkylakeGold6140, 36, false)
+		if skx >= a64 {
+			t.Errorf("%s all-core: Skylake (%.2f) should beat A64FX (%.2f)", name, skx, a64)
+		}
+	}
+}
+
+func TestFig4FujitsuPlacementStory(t *testing.T) {
+	// The Fujitsu default (CMG 0) hurts SP badly; first-touch recovers SP
+	// fully but UA only partially.
+	sp := app(t, "SP")
+	def := NPBTime(sp, toolchain.Fujitsu, machine.A64FX, 48, false)
+	ft := NPBTime(sp, toolchain.Fujitsu, machine.A64FX, 48, true)
+	gnu := NPBTime(sp, toolchain.GNU, machine.A64FX, 48, false)
+	if def/ft < 2 {
+		t.Errorf("SP: CMG0 penalty %.1fx, want >= 2x", def/ft)
+	}
+	if !stats.WithinFactor(ft, gnu, 1.1) {
+		t.Errorf("SP: first-touch Fujitsu (%.2f) should match GNU (%.2f)", ft, gnu)
+	}
+	ua := app(t, "UA")
+	uaDef := NPBTime(ua, toolchain.Fujitsu, machine.A64FX, 48, false)
+	uaFT := NPBTime(ua, toolchain.Fujitsu, machine.A64FX, 48, true)
+	uaGNU := NPBTime(ua, toolchain.GNU, machine.A64FX, 48, false)
+	if uaFT >= uaDef {
+		t.Errorf("UA: first-touch should improve the default (%.3f vs %.3f)", uaFT, uaDef)
+	}
+	if uaFT/uaGNU < 1.4 {
+		t.Errorf("UA: Fujitsu first-touch (%.3f) should remain well behind GNU (%.3f)",
+			uaFT, uaGNU)
+	}
+}
+
+func TestFig4ArmDeviance(t *testing.T) {
+	// ARM performs significantly worse than GCC on UA (and lags on BT)
+	// despite comparable single-core performance.
+	ua := app(t, "UA")
+	arm := NPBTime(ua, toolchain.Arm, machine.A64FX, 48, false)
+	gnu := NPBTime(ua, toolchain.GNU, machine.A64FX, 48, false)
+	if arm/gnu < 1.4 {
+		t.Errorf("UA: ARM (%.3f) should clearly trail GNU (%.3f)", arm, gnu)
+	}
+	bt := app(t, "BT")
+	armBT := NPBTime(bt, toolchain.Arm, machine.A64FX, 48, false)
+	gnuBT := NPBTime(bt, toolchain.GNU, machine.A64FX, 48, false)
+	if armBT <= gnuBT {
+		t.Errorf("BT: ARM (%.2f) should trail GNU (%.2f)", armBT, gnuBT)
+	}
+}
+
+// --- Figures 5-6 ---
+
+func TestFig5A64FXScaling(t *testing.T) {
+	effAt48 := map[string]float64{}
+	for _, name := range npbOrder {
+		eff := Efficiencies(app(t, name), toolchain.GNU, machine.A64FX, ScalingThreadsA64)
+		effAt48[name] = eff[len(eff)-1]
+	}
+	// "EP (compute-bound) scales almost linearly."
+	if effAt48["EP"] < 0.95 {
+		t.Errorf("EP efficiency = %.2f, want ~1", effAt48["EP"])
+	}
+	// "SP (memory-bound) having the least scaling/parallel efficiency of
+	// 0.6 across all 48 cores."
+	if !stats.WithinFactor(effAt48["SP"], 0.6, 1.2) {
+		t.Errorf("SP efficiency = %.2f, want ~0.6", effAt48["SP"])
+	}
+	for name, e := range effAt48 {
+		if name == "SP" {
+			continue
+		}
+		if e < effAt48["SP"]*0.95 {
+			t.Errorf("%s efficiency (%.2f) should not undercut SP (%.2f)", name, e, effAt48["SP"])
+		}
+	}
+}
+
+func TestFig6SkylakeScaling(t *testing.T) {
+	effAtMax := map[string]float64{}
+	for _, name := range npbOrder {
+		eff := Efficiencies(app(t, name), toolchain.Intel, machine.SkylakeGold6140, ScalingThreadsSKX)
+		effAtMax[name] = eff[len(eff)-1]
+	}
+	// "Skylake has a scaling/parallel efficiency between 0.7 (in EP) and
+	// 0.25 (in SP)."
+	if !stats.WithinFactor(effAtMax["EP"], 0.7, 1.1) {
+		t.Errorf("EP efficiency = %.2f, want ~0.7", effAtMax["EP"])
+	}
+	for name, e := range effAtMax {
+		if e > 0.75 {
+			t.Errorf("%s efficiency %.2f exceeds the droop-capped 0.75", name, e)
+		}
+		if e < 0.2 {
+			t.Errorf("%s efficiency %.2f implausibly low", name, e)
+		}
+	}
+	// A64FX scales better than Skylake for every application.
+	for _, name := range npbOrder {
+		a64 := Efficiencies(app(t, name), toolchain.GNU, machine.A64FX, ScalingThreadsA64)
+		if a64[len(a64)-1] <= effAtMax[name] {
+			t.Errorf("%s: A64FX efficiency (%.2f) should exceed Skylake (%.2f)",
+				name, a64[len(a64)-1], effAtMax[name])
+		}
+	}
+}
+
+// --- Table II ---
+
+func TestTableIIShape(t *testing.T) {
+	type cell struct{ base, vect float64 }
+	a64 := machine.A64FX
+	skx := machine.SkylakeGold6130
+	// Paper's Base(st) column: 2.03-2.055 on A64FX, 0.395 on Intel.
+	for _, tc := range toolchain.OnA64FX {
+		st := LuleshTime(tc, a64, lulesh.Base, 1)
+		if !stats.WithinFactor(st, 2.05, 1.25) {
+			t.Errorf("%s Base(st) = %.2f, want ~2.05", tc.Name, st)
+		}
+	}
+	intelST := LuleshTime(toolchain.Intel, skx, lulesh.Base, 1)
+	if !stats.WithinFactor(intelST, 0.395, 1.25) {
+		t.Errorf("Intel Base(st) = %.3f, want ~0.395", intelST)
+	}
+	// Vectorization gains ~1.3-1.6x single-thread everywhere.
+	for _, tc := range toolchain.OnA64FX {
+		c := cell{LuleshTime(tc, a64, lulesh.Base, 1), LuleshTime(tc, a64, lulesh.Vect, 1)}
+		if g := c.base / c.vect; g < 1.2 || g > 1.7 {
+			t.Errorf("%s vect gain = %.2f, want 1.3-1.6", tc.Name, g)
+		}
+	}
+	// Multithreaded: full-node times in the right bands.
+	for _, tc := range toolchain.OnA64FX {
+		mt := LuleshTime(tc, a64, lulesh.Base, a64.Cores)
+		if !stats.WithinFactor(mt, 0.0662, 1.35) {
+			t.Errorf("%s Base(mt) = %.4f, want ~0.066", tc.Name, mt)
+		}
+	}
+	intelMT := LuleshTime(toolchain.Intel, skx, lulesh.Base, skx.Cores)
+	if !stats.WithinFactor(intelMT, 0.0355, 1.35) {
+		t.Errorf("Intel Base(mt) = %.4f, want ~0.0355", intelMT)
+	}
+	// At full node the A64FX/Skylake gap narrows dramatically vs st.
+	stGap := LuleshTime(toolchain.GNU, a64, lulesh.Base, 1) / intelST
+	mtGap := LuleshTime(toolchain.GNU, a64, lulesh.Base, a64.Cores) / intelMT
+	if mtGap >= stGap {
+		t.Errorf("mt gap (%.1f) should be far below st gap (%.1f)", mtGap, stGap)
+	}
+}
+
+// --- rendering sanity for the remaining generators ---
+
+func TestTableIIIContainsSystems(t *testing.T) {
+	s := TableIII().String()
+	for _, want := range []string{"Ookami", "A64FX", "KNL", "EPYC", "57.6", "2765"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table III missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig1Fig2Render(t *testing.T) {
+	f1 := Fig1().String()
+	for _, want := range []string{"simple", "predicate", "short gather"} {
+		if !strings.Contains(f1, want) {
+			t.Errorf("Fig1 missing %q", want)
+		}
+	}
+	f2 := Fig2().String()
+	for _, want := range []string{"recip", "sqrt", "exp", "sin", "pow"} {
+		if !strings.Contains(f2, want) {
+			t.Errorf("Fig2 missing %q", want)
+		}
+	}
+}
+
+func TestFig89Render(t *testing.T) {
+	f8 := Fig8().String()
+	if !strings.Contains(f8, "Fujitsu BLAS") || !strings.Contains(f8, "Stampede2-KNL") {
+		t.Errorf("Fig8 incomplete:\n%s", f8)
+	}
+	ab := Fig9AB().String()
+	if !strings.Contains(ab, "ARMPL") || !strings.Contains(ab, "8 nodes") {
+		t.Errorf("Fig9AB incomplete:\n%s", ab)
+	}
+	cd := Fig9CD().String()
+	if !strings.Contains(cd, "FFTW") {
+		t.Errorf("Fig9CD incomplete:\n%s", cd)
+	}
+}

@@ -1,0 +1,91 @@
+package figures
+
+import (
+	"ookami/internal/machine"
+	"ookami/internal/stats"
+)
+
+// The paper's opening anecdote: the three-line Monte-Carlo loop runs
+// "over 500-fold" faster on a GPU than a CPU — "a fair comparison of what
+// is possible with minimal effort, [but] not a valid comparison of the
+// underlying hardware". This extra artifact models that story: the naive
+// serial loop, the restructured CPU version, and the implicitly parallel
+// GPU version, on the machines Ookami actually hosts (the Skylake node
+// carries two V100s).
+
+// V100 describes one NVIDIA V100 of Ookami's GPU node — enough of a
+// model for the Monte-Carlo story: double-precision peak and the fact
+// that its programming model is implicitly parallel and fully predicated.
+var V100 = machine.Machine{
+	Name:       "V100",
+	CPU:        "NVIDIA V100 (Ookami GPU node)",
+	ISA:        machine.AVX512, // placeholder ISA tag; unused by this model
+	Cores:      80,             // SMs
+	ClockGHz:   1.38,
+	SIMDBits:   64 * 32, // 32-wide warps of doubles
+	FMAPipes:   1,
+	NUMANodes:  1,
+	MemBWNode:  900,
+	CacheLineB: 128,
+}
+
+// mcCost models the cycles per Monte-Carlo step of the Section III loop.
+type mcCost struct {
+	label string
+	// cyclesPerStep on the executing clock, and how many steps proceed
+	// concurrently.
+	cyclesPerStep float64
+	parallelism   float64
+	clockGHz      float64
+}
+
+// MCStoryCosts derives the three implementations' step rates:
+//
+//   - naive CPU: fully serial — the chain exposes the latency of two
+//     serial exp calls (~32 cycles each on A64FX's libm), the divide, the
+//     compare and the RNG: ~100 cycles, one lane, one core.
+//   - restructured CPU: the paper's prescription — two vector exps at ~2
+//     cycles/element plus RNG/select/accumulate, ~8 cycles per sample
+//     per lane, over 48 cores x 8 lanes.
+//   - GPU: the same naive source is implicitly parallel across the
+//     V100's 2560 FP64 lanes; with the full-latency math, divergence and
+//     occupancy losses each step costs ~350 lane-cycles, all hidden by
+//     other warps.
+func MCStoryCosts() []mcCost {
+	a64 := machine.A64FX
+	return []mcCost{
+		{"naive serial (1 core A64FX)", 100, 1, a64.ClockGHz},
+		{"restructured (48 cores x 8 lanes)", 8, 48 * 8, a64.ClockGHz},
+		{"naive on GPU (V100, implicit parallelism)", 350, 2560, V100.ClockGHz},
+	}
+}
+
+// MCStory renders the modeled sample rates and the headline ratios.
+func MCStory() *stats.Table {
+	t := stats.NewTable("Extra: the Section III Monte-Carlo story (modeled sample rates)",
+		"implementation", "Gsamples/s", "vs naive CPU")
+	costs := MCStoryCosts()
+	base := rate(costs[0])
+	for _, c := range costs {
+		t.AddRow(c.label, stats.Format3(rate(c)), stats.Format3(rate(c)/base)+"x")
+	}
+	return t
+}
+
+func rate(c mcCost) float64 {
+	return c.clockGHz * c.parallelism / c.cyclesPerStep
+}
+
+// GPUNaiveAdvantage returns the modeled GPU-vs-naive-CPU factor — the
+// paper's "over a 500-fold performance advantage for GPUs over CPUs".
+func GPUNaiveAdvantage() float64 {
+	costs := MCStoryCosts()
+	return rate(costs[2]) / rate(costs[0])
+}
+
+// CPURestructuredRecovery returns how much of the gap the paper's
+// restructuring recovers on the CPU itself.
+func CPURestructuredRecovery() float64 {
+	costs := MCStoryCosts()
+	return rate(costs[1]) / rate(costs[0])
+}

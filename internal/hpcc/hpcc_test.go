@@ -1,0 +1,163 @@
+package hpcc
+
+import (
+	"strings"
+	"testing"
+
+	"ookami/internal/stats"
+)
+
+func TestFig8DGEMMShape(t *testing.T) {
+	fj := DGEMMPerCore(Ookami, FujitsuSSL)
+	ob := DGEMMPerCore(Ookami, OpenBLAS)
+	// "Fujitsu BLAS ... almost 14 times faster than non-optimized
+	// OpenBLAS."
+	if r := fj.GflopsCore / ob.GflopsCore; !stats.WithinFactor(r, 14, 1.2) {
+		t.Errorf("Fujitsu/OpenBLAS DGEMM ratio = %.1f, want ~14", r)
+	}
+	// "71% of theoretical peak ... between KNL (11%) and SKX (97%) and on
+	// par with AMD Zen 2."
+	if !stats.WithinFactor(fj.PctPeak, 71, 1.05) {
+		t.Errorf("Fujitsu %%peak = %.0f, want 71", fj.PctPeak)
+	}
+	skx := DGEMMPerCore(StampedeSKX, VendorLibrary(StampedeSKX))
+	knl := DGEMMPerCore(StampedeKNL, VendorLibrary(StampedeKNL))
+	zen := DGEMMPerCore(Bridges2, VendorLibrary(Bridges2))
+	if !(knl.PctPeak < fj.PctPeak && fj.PctPeak < skx.PctPeak) {
+		t.Errorf("%%peak ordering broken: KNL %.0f, A64FX %.0f, SKX %.0f",
+			knl.PctPeak, fj.PctPeak, skx.PctPeak)
+	}
+	if !stats.WithinFactor(fj.PctPeak, zen.PctPeak, 1.1) {
+		t.Errorf("A64FX %%peak %.0f should be on par with Zen2 %.0f", fj.PctPeak, zen.PctPeak)
+	}
+	// "Per-core performance ... close to Intel SKX and 1.6 times faster
+	// than AMD Zen 2 cores."
+	if !stats.WithinFactor(fj.GflopsCore, skx.GflopsCore, 1.15) {
+		t.Errorf("A64FX per-core %.1f should be close to SKX %.1f", fj.GflopsCore, skx.GflopsCore)
+	}
+	if r := fj.GflopsCore / zen.GflopsCore; !stats.WithinFactor(r, 1.6, 1.15) {
+		t.Errorf("A64FX/Zen2 per-core ratio = %.2f, want ~1.6", r)
+	}
+	// ARMPL and LibSci show significant speedup over OpenBLAS.
+	for _, lib := range []Library{ARMPL, CrayLibSci} {
+		if r := DGEMMPerCore(Ookami, lib).GflopsCore / ob.GflopsCore; r < 5 {
+			t.Errorf("%s speedup over OpenBLAS = %.1f, want significant", lib.Name, r)
+		}
+	}
+}
+
+func TestFig9AHPLSingleNode(t *testing.T) {
+	fj := HPLRun(Ookami, FujitsuSSL, 1)
+	ob := HPLRun(Ookami, OpenBLAS, 1)
+	// "nearly ten times faster than non-optimized OpenBLAS."
+	if r := fj.Gflops / ob.Gflops; !stats.WithinFactor(r, 10, 1.2) {
+		t.Errorf("HPL Fujitsu/OpenBLAS = %.1f, want ~10", r)
+	}
+	// Per-node comparable to SKX, ~1.6x smaller than Zen2's node.
+	skx := HPLRun(StampedeSKX, MKLSKX, 1)
+	zen := HPLRun(Bridges2, BLISZen2, 1)
+	if !stats.WithinFactor(fj.Gflops, skx.Gflops, 1.25) {
+		t.Errorf("A64FX node HPL %.0f vs SKX %.0f, want comparable", fj.Gflops, skx.Gflops)
+	}
+	if r := zen.Gflops / fj.Gflops; !stats.WithinFactor(r, 1.6, 1.3) {
+		t.Errorf("Zen2/A64FX node HPL = %.2f, want ~1.6", r)
+	}
+	// Matrix order follows the weak-scaling rule.
+	if fj.N != 20000 {
+		t.Errorf("single-node N = %d", fj.N)
+	}
+	if HPLRun(Ookami, FujitsuSSL, 4).N != 40000 {
+		t.Error("4-node N should be 40000")
+	}
+}
+
+func TestFig9BHPLMultiNodeScaling(t *testing.T) {
+	// Fujitsu MPI does not scale; ARMPL does, and overtakes on 2+ nodes.
+	fj1 := HPLRun(Ookami, FujitsuSSL, 1).Gflops
+	fj8 := HPLRun(Ookami, FujitsuSSL, 8).Gflops
+	arm1 := HPLRun(Ookami, ARMPL, 1).Gflops
+	arm8 := HPLRun(Ookami, ARMPL, 8).Gflops
+	if fj8/fj1 > 3 {
+		t.Errorf("Fujitsu HPL scales too well: %.1fx on 8 nodes", fj8/fj1)
+	}
+	if arm8/arm1 < 4 {
+		t.Errorf("ARMPL HPL scales too poorly: %.1fx on 8 nodes", arm8/arm1)
+	}
+	if fj1 < arm1 {
+		t.Errorf("single node: Fujitsu (%.0f) should beat ARMPL (%.0f)", fj1, arm1)
+	}
+	fj2 := HPLRun(Ookami, FujitsuSSL, 2).Gflops
+	arm2 := HPLRun(Ookami, ARMPL, 2).Gflops
+	if arm2 < fj2 {
+		t.Errorf("two nodes: ARMPL (%.0f) should overtake Fujitsu (%.0f)", arm2, fj2)
+	}
+}
+
+func TestFig9CFFTSingleNode(t *testing.T) {
+	fj := FFTRun(Ookami, FujitsuSSL, 1)
+	plain := FFTRun(Ookami, OpenBLAS, 1)
+	// "The Fujitsu version of FFTW ... 4.2 times faster than the
+	// non-optimized FFTW."
+	if r := fj.Gflops / plain.Gflops; !stats.WithinFactor(r, 4.2, 1.15) {
+		t.Errorf("FFT Fujitsu/plain = %.2f, want ~4.2", r)
+	}
+	// "The ARMPL implementation seems to be unoptimized": at or below
+	// plain FFTW.
+	arm := FFTRun(Ookami, ARMPL, 1)
+	if arm.Gflops > plain.Gflops*1.2 {
+		t.Errorf("ARMPL FFT (%.1f) should not beat plain FFTW (%.1f)", arm.Gflops, plain.Gflops)
+	}
+	// FFT percent-of-peak is far below the established x86 systems.
+	skx := FFTRun(StampedeSKX, MKLSKX, 1)
+	fjPct := fj.Gflops / Ookami.M.PeakGFLOPSNode()
+	skxPct := skx.Gflops / StampedeSKX.M.PeakGFLOPSNode()
+	if fjPct >= skxPct {
+		t.Errorf("A64FX FFT %%peak (%.3f) should trail SKX (%.3f)", fjPct, skxPct)
+	}
+}
+
+func TestFig9DFFTMultiNodeFlat(t *testing.T) {
+	// "The multi-node parallel performance is ... relatively flat across
+	// all tested node counts."
+	g1 := FFTRun(Ookami, FujitsuSSL, 1).Gflops
+	g8 := FFTRun(Ookami, FujitsuSSL, 8).Gflops
+	if g8 > 3*g1 {
+		t.Errorf("FFT multi-node not flat: %.1f -> %.1f", g1, g8)
+	}
+	if g8 <= 0 {
+		t.Error("FFT rate must stay positive")
+	}
+}
+
+func TestHPLWeakScalingMonotoneN(t *testing.T) {
+	prev := 0
+	for nodes := 1; nodes <= 16; nodes *= 2 {
+		r := HPLRun(Ookami, ARMPL, nodes)
+		if r.N <= prev {
+			t.Fatalf("N not increasing: %d at %d nodes", r.N, nodes)
+		}
+		prev = r.N
+		if r.PctPeak <= 0 || r.PctPeak > 100 {
+			t.Fatalf("pct peak %v", r.PctPeak)
+		}
+	}
+}
+
+func TestGuardsAndStrings(t *testing.T) {
+	if HPLRun(Ookami, ARMPL, 0).Nodes != 1 {
+		t.Error("node clamp")
+	}
+	if FFTRun(Ookami, ARMPL, -3).Nodes != 1 {
+		t.Error("fft node clamp")
+	}
+	s := DGEMMPerCore(Ookami, FujitsuSSL).String()
+	if !strings.Contains(s, "Fujitsu") || !strings.Contains(s, "GF/core") {
+		t.Errorf("string: %q", s)
+	}
+	if VendorLibrary(Ookami).Name != FujitsuSSL.Name ||
+		VendorLibrary(StampedeKNL).Name != MKLKNL.Name ||
+		VendorLibrary(Bridges2).Name != BLISZen2.Name ||
+		VendorLibrary(StampedeSKX).Name != MKLSKX.Name {
+		t.Error("vendor library mapping")
+	}
+}

@@ -1,0 +1,180 @@
+package hpcc
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"ookami/internal/machine"
+	"ookami/internal/omp"
+	"ookami/internal/rng"
+)
+
+// wallTime measures the wall-clock duration of fn in seconds.
+func wallTime(fn func()) float64 {
+	t0 := time.Now()
+	fn()
+	return time.Since(t0).Seconds()
+}
+
+// The remaining HPCC members the paper's bandwidth analysis leans on
+// implicitly: STREAM (the sustained-bandwidth yardstick behind the
+// "higher memory bandwidth" explanation of Figure 4) and RandomAccess
+// (GUPS, the latency-bound pole that CG approximates). Both have real
+// kernels plus per-machine models derived from the machine descriptions.
+
+// StreamResult reports one STREAM kernel's measured rate.
+type StreamResult struct {
+	Kernel   string
+	Bytes    float64 // bytes moved per iteration
+	GBs      float64 // measured GB/s on the host
+	Checksum float64
+}
+
+// RunStream executes the four STREAM kernels (copy, scale, add, triad) on
+// the host with the given team and array length, returning measured
+// rates. The checksum guards against the compiler eliding the work.
+func RunStream(team *omp.Team, n, reps int) []StreamResult {
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range a {
+		a[i] = 1.0
+		b[i] = 2.0
+		c[i] = 0.0
+	}
+	const scalar = 3.0
+	run := func(name string, bytes float64, body func()) StreamResult {
+		t := wallTime(func() {
+			for r := 0; r < reps; r++ {
+				body()
+			}
+		})
+		sum := 0.0
+		for _, v := range c {
+			sum += v
+		}
+		return StreamResult{
+			Kernel: name, Bytes: bytes * float64(n),
+			GBs:      bytes * float64(n) * float64(reps) / t / 1e9,
+			Checksum: sum,
+		}
+	}
+	results := []StreamResult{
+		run("copy", 16, func() {
+			team.ForRange(0, n, omp.Static, 0, func(lo, hi int) {
+				copy(c[lo:hi], a[lo:hi])
+			})
+		}),
+		run("scale", 16, func() {
+			team.ForRange(0, n, omp.Static, 0, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					b[i] = scalar * c[i]
+				}
+			})
+		}),
+		run("add", 24, func() {
+			team.ForRange(0, n, omp.Static, 0, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					c[i] = a[i] + b[i]
+				}
+			})
+		}),
+		run("triad", 24, func() {
+			team.ForRange(0, n, omp.Static, 0, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					a[i] = b[i] + scalar*c[i]
+				}
+			})
+		}),
+	}
+	return results
+}
+
+// ModelStreamTriad predicts the STREAM triad rate (GB/s) for p threads on
+// machine m — the numbers behind the paper's "can be attributed to higher
+// memory bandwidth" reading of Figure 4.
+func ModelStreamTriad(m machine.Machine, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	if p > m.Cores {
+		p = m.Cores
+	}
+	return math.Min(float64(p)*m.StreamBWCore(), m.MemBWNode) * 0.92 // triad reaches ~92% of peak stream
+}
+
+// GUPSResult reports a RandomAccess run.
+type GUPSResult struct {
+	TableWords int
+	Updates    int
+	GUPS       float64 // giga-updates per second (host measurement)
+	ErrorFrac  float64 // fraction of table entries wrong after replay
+}
+
+// RunGUPS executes the HPCC RandomAccess kernel on the host: a table of
+// 2^logSize words receives `updates` xor-updates at LCG-derived random
+// locations. The reference HPCC kernel races its read-modify-writes and
+// tolerates up to 1% lost updates; this implementation uses a CAS loop
+// instead (a data race is undefined behaviour in Go), so verification —
+// replaying the xor stream serially must restore the initial table — is
+// exact.
+func RunGUPS(team *omp.Team, logSize, updates int) GUPSResult {
+	size := 1 << logSize
+	mask := uint64(size - 1)
+	table := make([]uint64, size)
+	for i := range table {
+		table[i] = uint64(i)
+	}
+	src := rng.SplitMix64{Seed: 0x123456789}
+	t := wallTime(func() {
+		team.ForRange(0, updates, omp.Static, 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				r := src.Uint64(uint64(i))
+				slot := &table[r&mask]
+				for {
+					old := atomic.LoadUint64(slot)
+					if atomic.CompareAndSwapUint64(slot, old, old^r) {
+						break
+					}
+				}
+			}
+		})
+	})
+	// Replay serially: xor cancels, table must return to identity.
+	for i := 0; i < updates; i++ {
+		r := src.Uint64(uint64(i))
+		table[r&mask] ^= r
+	}
+	wrong := 0
+	for i := range table {
+		if table[i] != uint64(i) {
+			wrong++
+		}
+	}
+	return GUPSResult{
+		TableWords: size,
+		Updates:    updates,
+		GUPS:       float64(updates) / t / 1e9,
+		ErrorFrac:  float64(wrong) / float64(size),
+	}
+}
+
+// ModelGUPS predicts the RandomAccess rate for p threads on machine m
+// from its random-access bandwidth (8-byte updates, read+write).
+func ModelGUPS(m machine.Machine, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	if p > m.Cores {
+		p = m.Cores
+	}
+	bw := math.Min(float64(p)*m.RandomBWCore(), m.RandomBWNode())
+	return bw * 1e9 / 16 / 1e9 // updates/s in G, 16 bytes per update
+}
+
+// String renders a STREAM result line.
+func (r StreamResult) String() string {
+	return fmt.Sprintf("%-6s %8.2f GB/s", r.Kernel, r.GBs)
+}

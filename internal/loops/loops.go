@@ -1,0 +1,204 @@
+// Package loops is the executable form of the paper's Section III test
+// suite: the simple, predicate, gather, scatter and short-gather/scatter
+// loops plus the math-function loops, each in a scalar reference version
+// and an SVE version built on the internal/sve emulation. The tests prove
+// the two forms equivalent; the performance story (Figures 1-2) comes from
+// compiling the same loops through internal/toolchain into the
+// internal/perfmodel scheduler.
+package loops
+
+import (
+	"math/rand"
+
+	"ookami/internal/sve"
+	"ookami/internal/vmath"
+)
+
+// Workload holds the input vectors of the suite, sized (as in the paper)
+// so the working set fills L1.
+type Workload struct {
+	N     int
+	X     []float64
+	Y     []float64
+	P     []float64 // exponents for pow
+	Index []int64   // full random permutation
+	Short []int64   // permutation within 128-byte (16-element) windows
+}
+
+// NewWorkload builds a deterministic workload of n elements.
+func NewWorkload(n int, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{
+		N: n,
+		X: make([]float64, n),
+		Y: make([]float64, n),
+		P: make([]float64, n),
+	}
+	for i := range w.X {
+		w.X[i] = rng.Float64()*4 - 2
+		w.P[i] = rng.Float64()*6 - 3
+	}
+	w.Index = fullPermutation(rng, n)
+	w.Short = windowPermutation(rng, n, 16)
+	return w
+}
+
+// fullPermutation returns a random permutation of 0..n-1 — the paper's
+// cache-hostile gather/scatter index stream.
+func fullPermutation(rng *rand.Rand, n int) []int64 {
+	p := make([]int64, n)
+	for i, v := range rng.Perm(n) {
+		p[i] = int64(v)
+	}
+	return p
+}
+
+// windowPermutation permutes indices only within aligned `window`-element
+// blocks (16 doubles = 128 bytes), the paper's "short" variant that stays
+// inside the A64FX gather fast path.
+func windowPermutation(rng *rand.Rand, n, window int) []int64 {
+	p := make([]int64, n)
+	for base := 0; base < n; base += window {
+		end := base + window
+		if end > n {
+			end = n
+		}
+		local := rng.Perm(end - base)
+		for i, v := range local {
+			p[base+i] = int64(base + v)
+		}
+	}
+	return p
+}
+
+// --- simple: y[i] = 2*x[i] + 3*x[i]*x[i] ---
+
+// SimpleScalar is the reference loop.
+func SimpleScalar(y, x []float64) {
+	for i := range x {
+		y[i] = 2*x[i] + 3*x[i]*x[i]
+	}
+}
+
+// SimpleSVE is the vector form: y = x*(3x+2) with FMA, predicated tail.
+func SimpleSVE(y, x []float64) {
+	for base := 0; base < len(x); base += sve.VL {
+		p := sve.WhileLT(base, len(x))
+		v := sve.Load(x, base, p)
+		t := sve.Fma(p, sve.Dup(2), sve.Dup(3), v) // 2 + 3x
+		sve.Store(y, base, p, sve.Mul(p, v, t))
+	}
+}
+
+// --- predicate: if (x[i] > 0) y[i] = x[i] ---
+
+// PredicateScalar is the branchy reference.
+func PredicateScalar(y, x []float64) {
+	for i := range x {
+		if x[i] > 0 {
+			y[i] = x[i]
+		}
+	}
+}
+
+// PredicateSVE replaces the branch with a compare + masked store.
+func PredicateSVE(y, x []float64) {
+	for base := 0; base < len(x); base += sve.VL {
+		p := sve.WhileLT(base, len(x))
+		v := sve.Load(x, base, p)
+		m := sve.CmpGT(p, v, sve.Dup(0))
+		sve.Store(y, base, m, v)
+	}
+}
+
+// --- gather / scatter ---
+
+// GatherScalar: y[i] = x[index[i]].
+func GatherScalar(y, x []float64, idx []int64) {
+	for i := range y {
+		y[i] = x[idx[i]]
+	}
+}
+
+// GatherSVE uses the vector gather; it also returns the total number of
+// memory requests the A64FX load unit would issue given the 128-byte
+// pairing rule — the microarchitectural quantity behind the paper's
+// short-gather observation.
+func GatherSVE(y, x []float64, idx []int64) (requests int) {
+	var vi sve.I64
+	for base := 0; base < len(y); base += sve.VL {
+		p := sve.WhileLT(base, len(y))
+		for l := 0; l < sve.VL; l++ {
+			if p[l] {
+				vi[l] = idx[base+l]
+			} else {
+				vi[l] = 0
+			}
+		}
+		requests += sve.GatherPairs128(p, vi)
+		sve.Store(y, base, p, sve.Gather(p, x, vi))
+	}
+	return requests
+}
+
+// ScatterScalar: y[index[i]] = x[i].
+func ScatterScalar(y, x []float64, idx []int64) {
+	for i := range x {
+		y[idx[i]] = x[i]
+	}
+}
+
+// ScatterSVE uses the vector scatter.
+func ScatterSVE(y, x []float64, idx []int64) {
+	var vi sve.I64
+	for base := 0; base < len(x); base += sve.VL {
+		p := sve.WhileLT(base, len(x))
+		for l := 0; l < sve.VL; l++ {
+			if p[l] {
+				vi[l] = idx[base+l]
+			} else {
+				vi[l] = 0
+			}
+		}
+		sve.Scatter(p, y, vi, sve.Load(x, base, p))
+	}
+}
+
+// --- math-function loops (delegating to the vmath library) ---
+
+// RecipSVE: y[i] = 1/x[i] via Newton iteration.
+func RecipSVE(y, x []float64) { vmath.RecipNewton(y, x) }
+
+// SqrtSVE: y[i] = sqrt(|x[i]|) via Newton iteration (abs keeps the suite's
+// inputs in domain).
+func SqrtSVE(y, x []float64) {
+	tmp := make([]float64, len(x))
+	for i, v := range x {
+		if v < 0 {
+			v = -v
+		}
+		tmp[i] = v
+	}
+	vmath.SqrtNewton(y, tmp)
+}
+
+// ExpSVE: y[i] = exp(x[i]) via the FEXPA kernel.
+func ExpSVE(y, x []float64) { vmath.Exp(y, x, vmath.Horner) }
+
+// SinSVE: y[i] = sin(x[i]).
+func SinSVE(y, x []float64) { vmath.Sin(y, x) }
+
+// PowSVE: y[i] = |x[i]|^p[i].
+func PowSVE(y, x, pw []float64) {
+	tmp := make([]float64, len(x))
+	for i, v := range x {
+		if v < 0 {
+			v = -v
+		}
+		if v == 0 {
+			v = 1e-9
+		}
+		tmp[i] = v
+	}
+	vmath.Pow(y, tmp, pw)
+}

@@ -1,0 +1,61 @@
+package lulesh
+
+import "ookami/internal/perfmodel"
+
+// Characterization of the hydro step for the performance model behind
+// Table II / Figure 7.
+
+// Character describes one variant's per-element-step cost structure.
+type Character struct {
+	FlopsPerElemStep float64
+	BytesPerElemStep float64
+	MathPerElemStep  map[perfmodel.MathFn]float64
+	// VecFraction is the share of the flops that a vectorizing compiler
+	// can put into SIMD form for this code path. The Base loop's internal
+	// branch and AoS gathers keep it low; the Vect restructuring raises it
+	// (the 1.3-1.6x single-thread gains of Table II).
+	VecFraction float64
+	SerialFrac  float64
+}
+
+// Characterize returns the cost structure of a variant.
+func Characterize(v Variant) Character {
+	// Counted from the step: volumeGrad (48 hex volumes x ~45 flops),
+	// force scatter, nodal integration, element update.
+	c := Character{
+		FlopsPerElemStep: 48*45 + 120 + 80,
+		BytesPerElemStep: 8 * (24*3 + 8*2 + 16), // conn gathers + state
+		MathPerElemStep: map[perfmodel.MathFn]float64{
+			perfmodel.FnSqrt: 1, // sound speed
+			perfmodel.FnPow:  1, // viscosity length scale
+		},
+		SerialFrac: 2e-4, // boundary-condition and dt-control sections
+	}
+	if v == Vect {
+		c.VecFraction = 0.85
+	} else {
+		c.VecFraction = 0.35
+	}
+	return c
+}
+
+// AppProfile converts the characterization of a run (n^3 elements for
+// `steps` cycles) into a perfmodel application profile.
+func AppProfile(v Variant, n, steps int) perfmodel.AppProfile {
+	c := Characterize(v)
+	ne := float64(n * n * n)
+	s := float64(steps)
+	math := make(map[perfmodel.MathFn]float64, len(c.MathPerElemStep))
+	for fn, per := range c.MathPerElemStep {
+		math[fn] = per * ne * s
+	}
+	return perfmodel.AppProfile{
+		Name:        "LULESH-" + v.String(),
+		Flops:       c.FlopsPerElemStep * ne * s,
+		MathCalls:   math,
+		StreamBytes: c.BytesPerElemStep * ne * s * 0.7,
+		RandomBytes: c.BytesPerElemStep * ne * s * 0.3, // connectivity gathers
+		SerialFrac:  c.SerialFrac,
+		Barriers:    s * 6,
+	}
+}

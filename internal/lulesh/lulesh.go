@@ -1,0 +1,299 @@
+package lulesh
+
+import (
+	"math"
+
+	"ookami/internal/omp"
+)
+
+// Physical and numerical constants (LULESH-like defaults).
+const (
+	gammaEOS = 1.4  // ideal-gas gamma
+	qCoef    = 2.0  // quadratic artificial-viscosity coefficient
+	cfl      = 0.3  // Courant factor
+	dtMax    = 1e-2 // upper bound on the time step
+	eMin     = 0.0  // energy floor
+)
+
+// Variant selects the code path of Table II.
+type Variant int
+
+const (
+	// Base is the reference LULESH 1.0 structure: one monolithic element
+	// loop with branches (compressibility test) inside.
+	Base Variant = iota
+	// Vect is the vectorized port: split, branch-free passes over
+	// element temporaries. Numerically identical to Base.
+	Vect
+)
+
+// String names the variant as Table II does.
+func (v Variant) String() string {
+	if v == Vect {
+		return "Vect"
+	}
+	return "Base"
+}
+
+// Sim is one hydro simulation.
+type Sim struct {
+	Mesh    *Mesh
+	Team    *omp.Team
+	Variant Variant
+	Time    float64
+	DT      float64
+	Cycles  int
+	// Vect-path temporaries (SoA work arrays).
+	vnew, dvol, work []float64
+}
+
+// NewSim builds a Sedov problem on an n^3 mesh.
+func NewSim(n int, team *omp.Team, variant Variant) *Sim {
+	m := NewMesh(n, 1.125, 1.0, 3.948746e+7*1e-7) // scaled Sedov energy
+	ne := n * n * n
+	return &Sim{
+		Mesh: m, Team: team, Variant: variant, DT: 1e-7,
+		vnew: make([]float64, ne), dvol: make([]float64, ne), work: make([]float64, ne),
+	}
+}
+
+// Step advances one time step (leapfrog with Courant control).
+func (s *Sim) Step() {
+	m := s.Mesh
+	s.calcForces()
+	s.applyAccelerationAndBCs()
+	// Position update.
+	dt := s.DT
+	s.Team.ForRange(0, len(m.X), omp.Static, 0, func(a, b int) {
+		for i := a; i < b; i++ {
+			m.X[i] += m.XD[i] * dt
+			m.Y[i] += m.YD[i] * dt
+			m.Z[i] += m.ZD[i] * dt
+		}
+	})
+	if s.Variant == Base {
+		s.updateElementsBase()
+	} else {
+		s.updateElementsVect()
+	}
+	s.Time += dt
+	s.Cycles++
+	s.DT = s.courantDT()
+}
+
+// calcForces accumulates nodal pressure+viscosity forces:
+// F_node += (p+q) * dV/dx_node per element. Elements are processed with a
+// per-thread force buffer merged deterministically (the OpenMP LULESH uses
+// the same privatize-and-reduce pattern).
+func (s *Sim) calcForces() {
+	m := s.Mesh
+	nn := len(m.FX)
+	nt := s.Team.Size()
+	bufX := make([][]float64, nt)
+	bufY := make([][]float64, nt)
+	bufZ := make([][]float64, nt)
+	ne := len(m.Conn)
+	s.Team.Parallel(func(tid int) {
+		fx := make([]float64, nn)
+		fy := make([]float64, nn)
+		fz := make([]float64, nn)
+		var gx, gy, gz [8]float64
+		lo := tid * ne / nt
+		hi := (tid + 1) * ne / nt
+		for e := lo; e < hi; e++ {
+			m.volumeGrad(e, &gx, &gy, &gz)
+			pq := m.P[e] + m.Q[e]
+			c := &m.Conn[e]
+			for i := 0; i < 8; i++ {
+				fx[c[i]] += pq * gx[i]
+				fy[c[i]] += pq * gy[i]
+				fz[c[i]] += pq * gz[i]
+			}
+		}
+		bufX[tid] = fx
+		bufY[tid] = fy
+		bufZ[tid] = fz
+	})
+	s.Team.ForRange(0, nn, omp.Static, 0, func(a, b int) {
+		for i := a; i < b; i++ {
+			var sx, sy, sz float64
+			for t := 0; t < nt; t++ {
+				sx += bufX[t][i]
+				sy += bufY[t][i]
+				sz += bufZ[t][i]
+			}
+			m.FX[i] = sx
+			m.FY[i] = sy
+			m.FZ[i] = sz
+		}
+	})
+}
+
+// applyAccelerationAndBCs integrates velocity and enforces the three
+// symmetry planes (zero normal velocity at i=0, j=0, k=0).
+func (s *Sim) applyAccelerationAndBCs() {
+	m := s.Mesh
+	dt := s.DT
+	s.Team.ForRange(0, len(m.X), omp.Static, 0, func(a, b int) {
+		for i := a; i < b; i++ {
+			m.XD[i] += dt * m.FX[i] / m.NodalMass[i]
+			m.YD[i] += dt * m.FY[i] / m.NodalMass[i]
+			m.ZD[i] += dt * m.FZ[i] / m.NodalMass[i]
+		}
+	})
+	nn := m.NNode
+	idx := func(i, j, k int) int { return (i*nn+j)*nn + k }
+	for a := 0; a < nn; a++ {
+		for b := 0; b < nn; b++ {
+			m.XD[idx(0, a, b)] = 0
+			m.YD[idx(a, 0, b)] = 0
+			m.ZD[idx(a, b, 0)] = 0
+		}
+	}
+}
+
+// updateElementsBase: the monolithic element loop — volume, strain rate,
+// viscosity branch, energy update and EOS all fused, one element at a time.
+func (s *Sim) updateElementsBase() {
+	m := s.Mesh
+	dt := s.DT
+	s.Team.ForRange(0, len(m.Conn), omp.Static, 0, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			vol := m.ElemVolume(e)
+			dvol := vol - m.V[e]*m.Volo[e]
+			rho := m.ElemMass[e] / vol
+			// Artificial viscosity: quadratic in the compression rate,
+			// active only under compression (the branch the vector port
+			// converts to a mask).
+			var q float64
+			if dvol < 0 {
+				dr := dvol / (m.Volo[e] * dt)
+				q = qCoef * rho * dr * dr * math.Pow(vol, 2.0/3.0)
+			}
+			// Energy: dE = -(p+q) dV / mass.
+			e2 := m.E[e] - (m.P[e]+q)*dvol/m.ElemMass[e]
+			if e2 < eMin {
+				e2 = eMin
+			}
+			// EOS.
+			p2 := (gammaEOS - 1) * rho * e2
+			m.E[e] = e2
+			m.P[e] = p2
+			m.Q[e] = q
+			m.V[e] = vol / m.Volo[e]
+		}
+	})
+}
+
+// updateElementsVect: the same arithmetic re-organized into split,
+// branch-free passes over SoA temporaries (vnew, dvol, work), the
+// structure a vectorizing compiler wants. Bitwise identical to Base.
+func (s *Sim) updateElementsVect() {
+	m := s.Mesh
+	dt := s.DT
+	// Pass 1: volumes.
+	s.Team.ForRange(0, len(m.Conn), omp.Static, 0, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			s.vnew[e] = m.ElemVolume(e)
+			s.dvol[e] = s.vnew[e] - m.V[e]*m.Volo[e]
+		}
+	})
+	// Pass 2: viscosity as a predicated expression.
+	s.Team.ForRange(0, len(m.Conn), omp.Static, 0, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			rho := m.ElemMass[e] / s.vnew[e]
+			dr := s.dvol[e] / (m.Volo[e] * dt)
+			q := qCoef * rho * dr * dr * math.Pow(s.vnew[e], 2.0/3.0)
+			if s.dvol[e] >= 0 { // sel: mask instead of branch
+				q = 0
+			}
+			s.work[e] = q
+		}
+	})
+	// Pass 3: energy + EOS.
+	s.Team.ForRange(0, len(m.Conn), omp.Static, 0, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			q := s.work[e]
+			e2 := m.E[e] - (m.P[e]+q)*s.dvol[e]/m.ElemMass[e]
+			if e2 < eMin {
+				e2 = eMin
+			}
+			rho := m.ElemMass[e] / s.vnew[e]
+			m.E[e] = e2
+			m.P[e] = (gammaEOS - 1) * rho * e2
+			m.Q[e] = q
+			m.V[e] = s.vnew[e] / m.Volo[e]
+		}
+	})
+}
+
+// courantDT computes the next time step from the fastest sound crossing.
+func (s *Sim) courantDT() float64 {
+	m := s.Mesh
+	worst := s.Team.ReduceMax(0, len(m.Conn), func(lo, hi int) float64 {
+		w := 0.0
+		for e := lo; e < hi; e++ {
+			vol := m.V[e] * m.Volo[e]
+			rho := m.ElemMass[e] / vol
+			c := math.Sqrt(gammaEOS * (m.P[e] + m.Q[e] + 1e-30) / rho)
+			h := math.Cbrt(vol)
+			if r := c / h; r > w {
+				w = r
+			}
+		}
+		return w
+	})
+	dt := cfl / (worst + 1e-30)
+	if dt > dtMax {
+		dt = dtMax
+	}
+	// Limit growth per cycle (LULESH's dtfixed discipline).
+	if dt > 1.1*s.DT {
+		dt = 1.1 * s.DT
+	}
+	return dt
+}
+
+// RunUntil advances until simulation time tEnd or maxCycles.
+func (s *Sim) RunUntil(tEnd float64, maxCycles int) {
+	for s.Time < tEnd && s.Cycles < maxCycles {
+		s.Step()
+	}
+}
+
+// OriginVolumeRatio returns the relative volume of the source element —
+// > 1 once the blast has expanded it.
+func (s *Sim) OriginVolumeRatio() float64 { return s.Mesh.V[0] }
+
+// ShockRadius estimates the blast front position as the farthest element
+// (by centroid distance from the origin) whose pressure exceeds 10% of the
+// current maximum.
+func (s *Sim) ShockRadius() float64 {
+	m := s.Mesh
+	pmax := 0.0
+	for _, p := range m.P {
+		if p > pmax {
+			pmax = p
+		}
+	}
+	if pmax == 0 {
+		return 0
+	}
+	r := 0.0
+	for e, p := range m.P {
+		if p < 0.1*pmax {
+			continue
+		}
+		c := &m.Conn[e]
+		var cx, cy, cz float64
+		for i := 0; i < 8; i++ {
+			cx += m.X[c[i]] / 8
+			cy += m.Y[c[i]] / 8
+			cz += m.Z[c[i]] / 8
+		}
+		if d := math.Sqrt(cx*cx + cy*cy + cz*cz); d > r {
+			r = d
+		}
+	}
+	return r
+}

@@ -1,0 +1,187 @@
+package lulesh
+
+import (
+	"math"
+	"testing"
+
+	"ookami/internal/omp"
+	"ookami/internal/perfmodel"
+)
+
+func TestMeshConstruction(t *testing.T) {
+	m := NewMesh(4, 1.0, 1.0, 1.0)
+	if len(m.Conn) != 64 || len(m.X) != 125 {
+		t.Fatalf("mesh sizes: %d elems, %d nodes", len(m.Conn), len(m.X))
+	}
+	h := 0.25
+	for e := range m.Conn {
+		v := m.ElemVolume(e)
+		if math.Abs(v-h*h*h) > 1e-15 {
+			t.Fatalf("element %d volume %v want %v", e, v, h*h*h)
+		}
+		if m.V[e] != 1 {
+			t.Fatalf("relative volume %v", m.V[e])
+		}
+	}
+	// Total nodal mass = total element mass = rho * volume.
+	var nm, em float64
+	for _, x := range m.NodalMass {
+		nm += x
+	}
+	for _, x := range m.ElemMass {
+		em += x
+	}
+	if math.Abs(nm-em) > 1e-12 || math.Abs(em-1.0) > 1e-12 {
+		t.Errorf("mass bookkeeping: nodal %v elem %v", nm, em)
+	}
+	// Sedov energy sits in element 0 only.
+	if m.E[0] <= 0 || m.E[1] != 0 {
+		t.Errorf("Sedov deposition wrong: %v %v", m.E[0], m.E[1])
+	}
+}
+
+func TestHexVolumeUnitCube(t *testing.T) {
+	px := [8]float64{0, 1, 1, 0, 0, 1, 1, 0}
+	py := [8]float64{0, 0, 1, 1, 0, 0, 1, 1}
+	pz := [8]float64{0, 0, 0, 0, 1, 1, 1, 1}
+	if v := hexVolume(&px, &py, &pz); math.Abs(v-1) > 1e-15 {
+		t.Errorf("unit cube volume %v", v)
+	}
+	// Scaling: doubling x-coordinates doubles volume.
+	for i := range px {
+		px[i] *= 2
+	}
+	if v := hexVolume(&px, &py, &pz); math.Abs(v-2) > 1e-15 {
+		t.Errorf("stretched volume %v", v)
+	}
+}
+
+func TestVolumeGradExactForMultilinear(t *testing.T) {
+	// The gradient must predict the volume change of a small perturbation
+	// to first order — and, for a single coordinate, exactly.
+	m := NewMesh(2, 1.0, 1.0, 1.0)
+	var gx, gy, gz [8]float64
+	m.volumeGrad(0, &gx, &gy, &gz)
+	v0 := m.ElemVolume(0)
+	const d = 0.05
+	node := m.Conn[0][6] // the interior-most corner
+	m.X[node] += d
+	v1 := m.ElemVolume(0)
+	if math.Abs((v1-v0)-gx[6]*d) > 1e-14 {
+		t.Errorf("gradient wrong: dV=%v predicted %v", v1-v0, gx[6]*d)
+	}
+}
+
+func TestSedovBlastRunsAndConserves(t *testing.T) {
+	team := omp.NewTeam(4)
+	s := NewSim(8, team, Base)
+	e0 := s.Mesh.TotalEnergy()
+	if e0 <= 0 {
+		t.Fatal("no initial energy")
+	}
+	s.RunUntil(1e-3, 400)
+	if s.Cycles == 0 {
+		t.Fatal("no cycles ran")
+	}
+	e1 := s.Mesh.TotalEnergy()
+	if math.Abs(e1-e0)/e0 > 0.02 {
+		t.Errorf("energy drift %.3f%% (from %v to %v)", 100*math.Abs(e1-e0)/e0, e0, e1)
+	}
+	// The blast must have expanded the source element and started moving
+	// material outward.
+	if s.OriginVolumeRatio() <= 1 {
+		t.Errorf("source element did not expand: V ratio %v", s.OriginVolumeRatio())
+	}
+	kinetic := 0.0
+	for n := range s.Mesh.XD {
+		kinetic += s.Mesh.XD[n]*s.Mesh.XD[n] + s.Mesh.YD[n]*s.Mesh.YD[n] + s.Mesh.ZD[n]*s.Mesh.ZD[n]
+	}
+	if kinetic == 0 {
+		t.Error("no kinetic energy developed")
+	}
+	// All volumes stay positive.
+	for e, v := range s.Mesh.V {
+		if v <= 0 {
+			t.Fatalf("element %d inverted: V=%v", e, v)
+		}
+	}
+}
+
+func TestShockMovesOutward(t *testing.T) {
+	team := omp.NewTeam(2)
+	s := NewSim(8, team, Base)
+	s.RunUntil(2e-4, 120)
+	r1 := s.ShockRadius()
+	s.RunUntil(8e-4, 400)
+	r2 := s.ShockRadius()
+	if !(r2 > r1) {
+		t.Errorf("shock radius did not grow: %v -> %v", r1, r2)
+	}
+}
+
+func TestBaseAndVectBitwiseIdentical(t *testing.T) {
+	// Table II's two code paths must compute identical physics.
+	team := omp.NewTeam(3)
+	a := NewSim(6, team, Base)
+	b := NewSim(6, team, Vect)
+	for i := 0; i < 50; i++ {
+		a.Step()
+		b.Step()
+	}
+	if a.DT != b.DT || a.Time != b.Time {
+		t.Fatalf("time state differs: %v/%v vs %v/%v", a.Time, a.DT, b.Time, b.DT)
+	}
+	for e := range a.Mesh.E {
+		if a.Mesh.E[e] != b.Mesh.E[e] || a.Mesh.P[e] != b.Mesh.P[e] || a.Mesh.Q[e] != b.Mesh.Q[e] {
+			t.Fatalf("element %d state differs: E %v vs %v", e, a.Mesh.E[e], b.Mesh.E[e])
+		}
+	}
+	for n := range a.Mesh.X {
+		if a.Mesh.X[n] != b.Mesh.X[n] || a.Mesh.XD[n] != b.Mesh.XD[n] {
+			t.Fatalf("node %d differs", n)
+		}
+	}
+}
+
+func TestThreadCountInvariance(t *testing.T) {
+	a := NewSim(6, omp.NewTeam(1), Base)
+	b := NewSim(6, omp.NewTeam(5), Base)
+	for i := 0; i < 30; i++ {
+		a.Step()
+		b.Step()
+	}
+	for e := range a.Mesh.E {
+		if a.Mesh.E[e] != b.Mesh.E[e] {
+			t.Fatalf("thread-count dependence at element %d: %v vs %v",
+				e, a.Mesh.E[e], b.Mesh.E[e])
+		}
+	}
+}
+
+func TestCourantDTPositiveAndBounded(t *testing.T) {
+	s := NewSim(4, omp.NewTeam(2), Base)
+	for i := 0; i < 20; i++ {
+		s.Step()
+		if s.DT <= 0 || s.DT > dtMax {
+			t.Fatalf("dt out of range: %v", s.DT)
+		}
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	base := Characterize(Base)
+	vect := Characterize(Vect)
+	if base.FlopsPerElemStep != vect.FlopsPerElemStep {
+		t.Error("variants do the same arithmetic")
+	}
+	if vect.VecFraction <= base.VecFraction {
+		t.Error("Vect must raise the vectorizable fraction")
+	}
+	ap := AppProfile(Vect, 30, 100)
+	if ap.Flops <= 0 || ap.StreamBytes <= 0 || ap.MathCalls[perfmodel.FnSqrt] != 27000*100 {
+		t.Errorf("app profile wrong: %+v", ap)
+	}
+	if Base.String() != "Base" || Vect.String() != "Vect" {
+		t.Error("variant names")
+	}
+}

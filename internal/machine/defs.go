@@ -1,0 +1,181 @@
+package machine
+
+// The systems of Table III plus the two Skylake parts used elsewhere in the
+// paper (the Xeon Gold 6140 for the loop suite and the Gold 6130 for LULESH)
+// and the ThunderX2 login nodes.
+
+// A64FX is the Ookami compute node: Fujitsu A64FX-700, 48 cores in four
+// CMGs, 512-bit SVE, 32 GB HBM2 at 1 TB/s (256 GB/s per CMG).
+var A64FX = Machine{
+	Name:            "Ookami",
+	CPU:             "Fujitsu A64FX",
+	ISA:             SVE,
+	Cores:           48,
+	ClockGHz:        1.8,
+	SIMDBits:        512,
+	FMAPipes:        2,
+	NUMANodes:       4, // core memory groups (CMGs)
+	MemBWNode:       1024,
+	MemBWNodeRandom: 140,
+	MemBWCoreStream: 35,
+	MemBWCoreRandom: 2.5,
+	L1:              Cache{SizeBytes: 64 << 10, LineBytes: 256},
+	L2:              Cache{SizeBytes: 8 << 20, LineBytes: 256, SharedPerNUMA: true},
+	CacheLineB:      256,
+}
+
+// SkylakeGold6140 is the Ookami x86 comparison node used for the loop and
+// math-function suites (Xeon Gold 6140, 2.1 GHz base, 3.7 GHz boost, 36
+// cores across two sockets; the paper's single-core tests boost to 3.7 GHz).
+var SkylakeGold6140 = Machine{
+	Name:            "Skylake-6140",
+	CPU:             "Intel Xeon Gold 6140",
+	ISA:             AVX512,
+	Cores:           36,
+	ClockGHz:        2.1,
+	BoostGHz:        3.7,
+	AllCoreGHz:      2.6,
+	SIMDBits:        512,
+	FMAPipes:        2,
+	NUMANodes:       2,
+	MemBWNode:       256,
+	MemBWNodeRandom: 90,
+	MemBWCoreStream: 13,
+	MemBWCoreRandom: 5,
+	L1:              Cache{SizeBytes: 32 << 10, LineBytes: 64},
+	L2:              Cache{SizeBytes: 1 << 20, LineBytes: 64},
+	HasL3:           true,
+	L3:              Cache{SizeBytes: 25 << 20, LineBytes: 64, SharedPerNUMA: true},
+	CacheLineB:      64,
+}
+
+// SkylakeGold6130 is the LULESH comparison system (Xeon Gold 6130,
+// 16 cores/socket, 32 cores/server, 2.1 GHz base).
+var SkylakeGold6130 = Machine{
+	Name:            "Skylake-6130",
+	CPU:             "Intel Xeon Gold 6130",
+	ISA:             AVX512,
+	Cores:           32,
+	ClockGHz:        2.1,
+	BoostGHz:        3.7,
+	AllCoreGHz:      2.4,
+	SIMDBits:        512,
+	FMAPipes:        2,
+	NUMANodes:       2,
+	MemBWNode:       256,
+	MemBWNodeRandom: 90,
+	MemBWCoreStream: 13,
+	MemBWCoreRandom: 5,
+	L1:              Cache{SizeBytes: 32 << 10, LineBytes: 64},
+	L2:              Cache{SizeBytes: 1 << 20, LineBytes: 64},
+	HasL3:           true,
+	L3:              Cache{SizeBytes: 22 << 20, LineBytes: 64, SharedPerNUMA: true},
+	CacheLineB:      64,
+}
+
+// StampedeSKX is TACC Stampede 2's Skylake partition (Table III): Xeon
+// Platinum 8160, 48 cores/node, 1.4 GHz all-core AVX-512 frequency, giving
+// the paper's 44.8 GFLOP/s/core and 2150 GFLOP/s/node.
+var StampedeSKX = Machine{
+	Name:            "Stampede2-SKX",
+	CPU:             "Intel Xeon Platinum 8160",
+	ISA:             AVX512,
+	Cores:           48,
+	ClockGHz:        1.4,
+	BoostGHz:        3.7,
+	AllCoreGHz:      1.8,
+	SIMDBits:        512,
+	FMAPipes:        2,
+	NUMANodes:       2,
+	MemBWNode:       256,
+	MemBWNodeRandom: 90,
+	MemBWCoreStream: 13,
+	MemBWCoreRandom: 5,
+	L1:              Cache{SizeBytes: 32 << 10, LineBytes: 64},
+	L2:              Cache{SizeBytes: 1 << 20, LineBytes: 64},
+	HasL3:           true,
+	L3:              Cache{SizeBytes: 33 << 20, LineBytes: 64, SharedPerNUMA: true},
+	CacheLineB:      64,
+}
+
+// StampedeKNL is Stampede 2's Knights Landing partition (Table III): Xeon
+// Phi 7250, 68 cores at 1.4 GHz, AVX-512, MCDRAM.
+var StampedeKNL = Machine{
+	Name:            "Stampede2-KNL",
+	CPU:             "Intel Xeon Phi 7250",
+	ISA:             AVX512,
+	Cores:           68,
+	ClockGHz:        1.4,
+	BoostGHz:        1.6,
+	AllCoreGHz:      1.4,
+	SIMDBits:        512,
+	FMAPipes:        2,
+	NUMANodes:       4,
+	MemBWNode:       450, // MCDRAM flat-mode bandwidth
+	MemBWNodeRandom: 120,
+	MemBWCoreStream: 9,
+	MemBWCoreRandom: 1.5,
+	L1:              Cache{SizeBytes: 32 << 10, LineBytes: 64},
+	L2:              Cache{SizeBytes: 1 << 20, LineBytes: 64, SharedPerNUMA: false},
+	CacheLineB:      64,
+}
+
+// Zen2 describes the PSC Bridges-2 / SDSC Expanse nodes (Table III): dual
+// AMD EPYC 7742, 128 cores, AVX2 (256-bit), 2.25 GHz.
+var Zen2 = Machine{
+	Name:            "Zen2-7742",
+	CPU:             "AMD EPYC 7742",
+	ISA:             AVX2,
+	Cores:           128,
+	ClockGHz:        2.25,
+	BoostGHz:        3.4,
+	AllCoreGHz:      2.6,
+	SIMDBits:        256,
+	FMAPipes:        2,
+	NUMANodes:       8,
+	MemBWNode:       380,
+	MemBWNodeRandom: 130,
+	MemBWCoreStream: 11,
+	MemBWCoreRandom: 4,
+	L1:              Cache{SizeBytes: 32 << 10, LineBytes: 64},
+	L2:              Cache{SizeBytes: 512 << 10, LineBytes: 64},
+	HasL3:           true,
+	L3:              Cache{SizeBytes: 256 << 20, LineBytes: 64, SharedPerNUMA: true},
+	CacheLineB:      64,
+}
+
+// ThunderX2 is the Ookami login node (dual-socket, 64 cores, NEON).
+var ThunderX2 = Machine{
+	Name:            "ThunderX2",
+	CPU:             "Marvell ThunderX2",
+	ISA:             NEON,
+	Cores:           64,
+	ClockGHz:        2.3,
+	BoostGHz:        2.5,
+	AllCoreGHz:      2.3,
+	SIMDBits:        128,
+	FMAPipes:        2,
+	NUMANodes:       2,
+	MemBWNode:       300,
+	MemBWNodeRandom: 100,
+	MemBWCoreStream: 10,
+	MemBWCoreRandom: 4,
+	L1:              Cache{SizeBytes: 32 << 10, LineBytes: 64},
+	L2:              Cache{SizeBytes: 256 << 10, LineBytes: 64},
+	HasL3:           true,
+	L3:              Cache{SizeBytes: 32 << 20, LineBytes: 64, SharedPerNUMA: true},
+	CacheLineB:      64,
+}
+
+// All lists every predefined machine.
+var All = []Machine{A64FX, SkylakeGold6140, SkylakeGold6130, StampedeSKX, StampedeKNL, Zen2, ThunderX2}
+
+// ByName returns the predefined machine with the given name.
+func ByName(name string) (Machine, bool) {
+	for _, m := range All {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Machine{}, false
+}

@@ -1,0 +1,212 @@
+// Package machine describes the HPC systems the paper compares: the Ookami
+// A64FX nodes and the x86 reference systems (Skylake, Knights Landing,
+// Zen 2), including core counts, SIMD width, cache hierarchy, NUMA/CMG
+// topology, memory bandwidth, and interconnect. These descriptions feed the
+// performance model in internal/perfmodel.
+package machine
+
+import "fmt"
+
+// ISA identifies the SIMD instruction family of a processor.
+type ISA int
+
+const (
+	// SVE is the ARM Scalable Vector Extension (A64FX: 512-bit).
+	SVE ISA = iota
+	// AVX512 is Intel's 512-bit SIMD family (Skylake-SP, KNL).
+	AVX512
+	// AVX2 is the 256-bit x86 SIMD family (Zen 2).
+	AVX2
+	// NEON is 128-bit ARM SIMD (ThunderX2 login nodes).
+	NEON
+)
+
+// String returns the conventional name of the ISA.
+func (i ISA) String() string {
+	switch i {
+	case SVE:
+		return "SVE"
+	case AVX512:
+		return "AVX512"
+	case AVX2:
+		return "AVX2"
+	case NEON:
+		return "NEON"
+	}
+	return fmt.Sprintf("ISA(%d)", int(i))
+}
+
+// Cache describes one cache level.
+type Cache struct {
+	SizeBytes     int  // capacity
+	LineBytes     int  // cache line size
+	SharedPerNUMA bool // true if shared among the cores of a NUMA domain
+}
+
+// Machine is a single-node processor description. All performance-relevant
+// quantities the paper discusses are captured here; instruction-level
+// latencies live in the perfmodel profiles keyed by Machine.Name.
+type Machine struct {
+	Name       string
+	CPU        string
+	ISA        ISA
+	Cores      int     // cores per node
+	ClockGHz   float64 // base frequency used for peak computation
+	BoostGHz   float64 // single-core turbo frequency (0 = same as base)
+	AllCoreGHz float64 // sustained all-core frequency under SIMD load (0 = base)
+	SIMDBits   int     // vector register width
+	FMAPipes   int     // FMA-capable pipes per core
+	NUMANodes  int     // NUMA domains per node (CMGs on A64FX)
+	MemBWNode  float64 // aggregate streaming memory bandwidth, GB/s per node
+	// MemBWNodeRandom is the node bandwidth achievable under random
+	// (gather-dominated) access; a fraction of the streaming figure.
+	MemBWNodeRandom float64
+	// MemBWCoreStream / MemBWCoreRandom cap what one core can draw,
+	// stream- and latency-limited respectively. A64FX's single core is
+	// notoriously far from its CMG's 256 GB/s — the paper's explanation
+	// for the weak single-core CG result.
+	MemBWCoreStream float64
+	MemBWCoreRandom float64
+	L1              Cache
+	L2              Cache
+	HasL3           bool
+	L3              Cache
+	CacheLineB      int // primary cache line size in bytes
+}
+
+// VectorLanes64 is the number of float64 lanes per SIMD register.
+func (m Machine) VectorLanes64() int { return m.SIMDBits / 64 }
+
+// Boost returns the single-core turbo clock, defaulting to the base clock
+// (the A64FX runs at a fixed 1.8 GHz; Skylake boosts to 3.7).
+func (m Machine) Boost() float64 {
+	if m.BoostGHz > 0 {
+		return m.BoostGHz
+	}
+	return m.ClockGHz
+}
+
+// AllCore returns the sustained clock with every core under SIMD load.
+func (m Machine) AllCore() float64 {
+	if m.AllCoreGHz > 0 {
+		return m.AllCoreGHz
+	}
+	return m.ClockGHz
+}
+
+// ClockAt interpolates the sustained clock for p active cores, from the
+// single-core boost down to the all-core frequency. This frequency droop is
+// why Skylake's parallel efficiency in the paper's Figure 6 tops out near
+// 0.7 even for the embarrassingly parallel EP.
+func (m Machine) ClockAt(p int) float64 {
+	if p <= 1 || m.Cores <= 1 {
+		return m.Boost()
+	}
+	if p >= m.Cores {
+		return m.AllCore()
+	}
+	f := float64(p-1) / float64(m.Cores-1)
+	return m.Boost() + (m.AllCore()-m.Boost())*f
+}
+
+// RandomBWNode returns the node-level random-access bandwidth, defaulting
+// to a quarter of the streaming bandwidth when unset.
+func (m Machine) RandomBWNode() float64 {
+	if m.MemBWNodeRandom > 0 {
+		return m.MemBWNodeRandom
+	}
+	return m.MemBWNode / 4
+}
+
+// StreamBWCore returns the per-core streaming bandwidth cap, defaulting to
+// an even share of the node bandwidth.
+func (m Machine) StreamBWCore() float64 {
+	if m.MemBWCoreStream > 0 {
+		return m.MemBWCoreStream
+	}
+	return m.MemBWNode / float64(m.Cores)
+}
+
+// RandomBWCore returns the per-core random-access bandwidth cap.
+func (m Machine) RandomBWCore() float64 {
+	if m.MemBWCoreRandom > 0 {
+		return m.MemBWCoreRandom
+	}
+	return m.RandomBWNode() / float64(m.Cores)
+}
+
+// PeakGFLOPSCore is the theoretical double-precision peak per core:
+// clock × pipes × 2 FLOP/FMA × lanes. For A64FX this reproduces the paper's
+// 1.8 GHz × 2 × 2 × 8 = 57.6 GFLOP/s figure.
+func (m Machine) PeakGFLOPSCore() float64 {
+	return m.ClockGHz * float64(m.FMAPipes) * 2 * float64(m.VectorLanes64())
+}
+
+// PeakGFLOPSNode is the node-level theoretical peak.
+func (m Machine) PeakGFLOPSNode() float64 {
+	return m.PeakGFLOPSCore() * float64(m.Cores)
+}
+
+// MemBWPerNUMA is the memory bandwidth of a single NUMA domain in GB/s
+// (a CMG's 256 GB/s HBM slice on A64FX).
+func (m Machine) MemBWPerNUMA() float64 {
+	if m.NUMANodes == 0 {
+		return m.MemBWNode
+	}
+	return m.MemBWNode / float64(m.NUMANodes)
+}
+
+// CoresPerNUMA is the number of cores per NUMA domain.
+func (m Machine) CoresPerNUMA() int {
+	if m.NUMANodes == 0 {
+		return m.Cores
+	}
+	return m.Cores / m.NUMANodes
+}
+
+// NUMAOf returns the NUMA domain that core c belongs to.
+func (m Machine) NUMAOf(core int) int {
+	per := m.CoresPerNUMA()
+	if per == 0 {
+		return 0
+	}
+	n := core / per
+	if n >= m.NUMANodes && m.NUMANodes > 0 {
+		n = m.NUMANodes - 1
+	}
+	return n
+}
+
+// MachineIntensity is the FLOP/byte ratio at which the node transitions from
+// memory-bound to compute-bound (the roofline ridge point).
+func (m Machine) MachineIntensity() float64 {
+	return m.PeakGFLOPSNode() / m.MemBWNode
+}
+
+// Validate reports configuration errors (used by tests and by users who
+// define custom machines).
+func (m Machine) Validate() error {
+	switch {
+	case m.Name == "":
+		return fmt.Errorf("machine: empty name")
+	case m.Cores <= 0:
+		return fmt.Errorf("machine %s: cores must be positive", m.Name)
+	case m.ClockGHz <= 0:
+		return fmt.Errorf("machine %s: clock must be positive", m.Name)
+	case m.SIMDBits%64 != 0 || m.SIMDBits <= 0:
+		return fmt.Errorf("machine %s: SIMD width %d not a multiple of 64", m.Name, m.SIMDBits)
+	case m.FMAPipes <= 0:
+		return fmt.Errorf("machine %s: FMA pipes must be positive", m.Name)
+	case m.NUMANodes < 0 || (m.NUMANodes > 0 && m.Cores%m.NUMANodes != 0):
+		return fmt.Errorf("machine %s: %d cores not divisible into %d NUMA nodes", m.Name, m.Cores, m.NUMANodes)
+	case m.MemBWNode <= 0:
+		return fmt.Errorf("machine %s: memory bandwidth must be positive", m.Name)
+	}
+	return nil
+}
+
+// String renders a one-line spec, e.g. for Table III.
+func (m Machine) String() string {
+	return fmt.Sprintf("%s (%s, %s %d-bit, %d cores @ %.2f GHz, %.1f GFLOP/s/core)",
+		m.Name, m.CPU, m.ISA, m.SIMDBits, m.Cores, m.ClockGHz, m.PeakGFLOPSCore())
+}

@@ -1,0 +1,147 @@
+package machine
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestA64FXPeakMatchesPaper(t *testing.T) {
+	// Section II: 1.8 GHz x 2 FMA/cycle x 2 FLOPs/FMA x 8 lanes = 57.6.
+	if got := A64FX.PeakGFLOPSCore(); math.Abs(got-57.6) > 1e-9 {
+		t.Errorf("A64FX peak/core = %v, want 57.6", got)
+	}
+	if got := A64FX.PeakGFLOPSNode(); math.Abs(got-2764.8) > 1e-9 {
+		t.Errorf("A64FX peak/node = %v, want 2764.8 (paper rounds to 2765)", got)
+	}
+}
+
+func TestTableIIIPeaks(t *testing.T) {
+	cases := []struct {
+		m        Machine
+		perCore  float64
+		perNode  float64
+		coresNod int
+	}{
+		{A64FX, 57.6, 2765, 48},
+		{StampedeSKX, 44.8, 2150, 48},
+		{StampedeKNL, 44.8, 3046, 68},
+		{Zen2, 36, 4608, 128},
+	}
+	for _, c := range cases {
+		if got := c.m.PeakGFLOPSCore(); math.Abs(got-c.perCore) > 0.05 {
+			t.Errorf("%s peak/core = %v want %v", c.m.Name, got, c.perCore)
+		}
+		if got := c.m.PeakGFLOPSNode(); math.Abs(got-c.perNode)/c.perNode > 0.01 {
+			t.Errorf("%s peak/node = %v want %v", c.m.Name, got, c.perNode)
+		}
+		if c.m.Cores != c.coresNod {
+			t.Errorf("%s cores = %d want %d", c.m.Name, c.m.Cores, c.coresNod)
+		}
+	}
+}
+
+func TestCMGTopology(t *testing.T) {
+	if got := A64FX.CoresPerNUMA(); got != 12 {
+		t.Errorf("A64FX cores/CMG = %d, want 12", got)
+	}
+	if got := A64FX.MemBWPerNUMA(); got != 256 {
+		t.Errorf("A64FX CMG bandwidth = %v, want 256", got)
+	}
+	if got := A64FX.NUMAOf(0); got != 0 {
+		t.Errorf("core 0 CMG = %d", got)
+	}
+	if got := A64FX.NUMAOf(13); got != 1 {
+		t.Errorf("core 13 CMG = %d, want 1", got)
+	}
+	if got := A64FX.NUMAOf(47); got != 3 {
+		t.Errorf("core 47 CMG = %d, want 3", got)
+	}
+}
+
+func TestVectorLanes(t *testing.T) {
+	if A64FX.VectorLanes64() != 8 {
+		t.Error("A64FX should have 8 float64 lanes")
+	}
+	if Zen2.VectorLanes64() != 4 {
+		t.Error("Zen2 should have 4 float64 lanes")
+	}
+	if ThunderX2.VectorLanes64() != 2 {
+		t.Error("ThunderX2 should have 2 float64 lanes")
+	}
+}
+
+func TestValidateAll(t *testing.T) {
+	for _, m := range All {
+		if err := m.Validate(); err != nil {
+			t.Errorf("predefined machine invalid: %v", err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Machine{
+		{},
+		{Name: "x", Cores: -1, ClockGHz: 1, SIMDBits: 128, FMAPipes: 1, MemBWNode: 1},
+		{Name: "x", Cores: 4, ClockGHz: 0, SIMDBits: 128, FMAPipes: 1, MemBWNode: 1},
+		{Name: "x", Cores: 4, ClockGHz: 1, SIMDBits: 100, FMAPipes: 1, MemBWNode: 1},
+		{Name: "x", Cores: 4, ClockGHz: 1, SIMDBits: 128, FMAPipes: 0, MemBWNode: 1},
+		{Name: "x", Cores: 5, ClockGHz: 1, SIMDBits: 128, FMAPipes: 1, NUMANodes: 2, MemBWNode: 1},
+		{Name: "x", Cores: 4, ClockGHz: 1, SIMDBits: 128, FMAPipes: 1, MemBWNode: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, m)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, ok := ByName("Ookami")
+	if !ok || m.CPU != "Fujitsu A64FX" {
+		t.Errorf("ByName(Ookami) = %v, %v", m, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName should miss unknown names")
+	}
+}
+
+func TestMachineIntensityOrdering(t *testing.T) {
+	// A64FX's HBM gives it a much lower ridge point than Skylake: it stays
+	// compute-bound longer, the paper's explanation for Fig. 4.
+	if A64FX.MachineIntensity() >= StampedeSKX.MachineIntensity() {
+		t.Errorf("A64FX ridge %.2f should be below SKX ridge %.2f",
+			A64FX.MachineIntensity(), StampedeSKX.MachineIntensity())
+	}
+}
+
+func TestISAStringAndMachineString(t *testing.T) {
+	if SVE.String() != "SVE" || AVX512.String() != "AVX512" || AVX2.String() != "AVX2" || NEON.String() != "NEON" {
+		t.Error("ISA names wrong")
+	}
+	if got := ISA(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown ISA string = %q", got)
+	}
+	if s := A64FX.String(); !strings.Contains(s, "SVE") || !strings.Contains(s, "48 cores") {
+		t.Errorf("A64FX string = %q", s)
+	}
+}
+
+func TestInterconnectTransfer(t *testing.T) {
+	ic := HDR200FatTree
+	// Latency-only for zero bytes.
+	if got := ic.TransferSec(0); math.Abs(got-1.2e-6) > 1e-12 {
+		t.Errorf("zero-byte transfer = %v", got)
+	}
+	// 25 GB at 25 GB/s ~ 1 s + latency.
+	if got := ic.TransferSec(25e9); math.Abs(got-1.0000012) > 1e-6 {
+		t.Errorf("25GB transfer = %v", got)
+	}
+	if got := ic.AllToAllSec(1, 1e9); got != 0 {
+		t.Errorf("single-node all-to-all = %v", got)
+	}
+	// All-to-all grows with node count.
+	if ic.AllToAllSec(4, 1e6) >= ic.AllToAllSec(8, 1e6) {
+		t.Error("all-to-all should grow with node count")
+	}
+}

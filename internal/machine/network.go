@@ -1,0 +1,47 @@
+package machine
+
+// Interconnect models the multi-node network used by the HPCC multi-node
+// experiments: a per-node injection bandwidth, a small-message latency, and
+// a topology-dependent bisection factor (a full fat tree keeps it at 1).
+type Interconnect struct {
+	Name           string
+	InjectionGBs   float64 // per-node injection bandwidth, GB/s
+	LatencyUS      float64 // end-to-end small message latency, microseconds
+	BisectionRatio float64 // fraction of full bisection bandwidth available
+}
+
+// HDR200FatTree is Ookami's HDR-200 InfiniBand full fat tree.
+var HDR200FatTree = Interconnect{
+	Name:           "HDR200-fat-tree",
+	InjectionGBs:   25, // 200 Gb/s
+	LatencyUS:      1.2,
+	BisectionRatio: 1.0,
+}
+
+// OPA100 approximates Stampede 2's Omni-Path 100 fabric.
+var OPA100 = Interconnect{
+	Name:           "OPA-100",
+	InjectionGBs:   12.5,
+	LatencyUS:      1.5,
+	BisectionRatio: 1.0,
+}
+
+// TransferSec returns the time in seconds to move `bytes` between two nodes,
+// including latency. A zero-byte message still pays the latency.
+func (ic Interconnect) TransferSec(bytes float64) float64 {
+	bw := ic.InjectionGBs * 1e9 * ic.BisectionRatio
+	return ic.LatencyUS*1e-6 + bytes/bw
+}
+
+// AllToAllSec estimates the time for an all-to-all exchange of `bytesPer`
+// bytes per node pair among n nodes (the FFT transpose pattern). Each node
+// must inject (n-1)*bytesPer bytes; the fabric's bisection limits the
+// aggregate.
+func (ic Interconnect) AllToAllSec(n int, bytesPer float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	perNode := float64(n-1) * bytesPer
+	bw := ic.InjectionGBs * 1e9 * ic.BisectionRatio
+	return float64(n-1)*ic.LatencyUS*1e-6 + perNode/bw
+}

@@ -1,0 +1,55 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"ookami/internal/omp"
+)
+
+func TestExactMeanNearOne(t *testing.T) {
+	// The truncated exponential's mean is within e^-23 of 1.
+	if m := ExactMean(); math.Abs(m-1) > 1e-8 {
+		t.Errorf("exact mean = %v", m)
+	}
+}
+
+func TestNaiveConverges(t *testing.T) {
+	got := Naive(2_000_00, 271828183)
+	if math.Abs(got-ExactMean()) > 0.02 {
+		t.Errorf("naive mean = %v want ~%v", got, ExactMean())
+	}
+}
+
+func TestOptimizedConverges(t *testing.T) {
+	team := omp.NewTeam(4)
+	got := Optimized(team, 256, 2000, 99)
+	if math.Abs(got-ExactMean()) > 0.02 {
+		t.Errorf("optimized mean = %v want ~%v", got, ExactMean())
+	}
+}
+
+func TestOptimizedDeterministicAcrossThreads(t *testing.T) {
+	a := Optimized(omp.NewTeam(1), 64, 500, 7)
+	b := Optimized(omp.NewTeam(6), 64, 500, 7)
+	if a != b {
+		t.Errorf("thread-count dependence: %v vs %v", a, b)
+	}
+}
+
+func TestOptimizedRoundsUpChains(t *testing.T) {
+	// Chain counts that are not multiples of the vector length still work.
+	team := omp.NewTeam(2)
+	got := Optimized(team, 50, 500, 3)
+	if math.Abs(got-ExactMean()) > 0.05 {
+		t.Errorf("ragged chains mean = %v", got)
+	}
+}
+
+func TestNaiveAndOptimizedAgreeStatistically(t *testing.T) {
+	a := Naive(300000, 1)
+	b := Optimized(omp.NewTeam(3), 512, 800, 2)
+	if math.Abs(a-b) > 0.03 {
+		t.Errorf("estimators disagree: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,144 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"ookami/internal/fft"
+)
+
+// Distributed FFT — the transpose-based (four-step) algorithm behind
+// HPCC's MPIFFT and the flat multi-node curves of Figure 9 D. The length
+// N = R*C transform decomposes as:
+//
+//	A[n2][k1] = FFT_R over n1 of x[n1*C + n2]      (column FFTs)
+//	B[n2][k1] = A[n2][k1] * w_N^(n2*k1)            (twiddle)
+//	X[k2*R + k1] = FFT_C over n2 of B[n2][k1]      (row FFTs)
+//
+// Ranks own contiguous n1 blocks of the input; the two all-to-all
+// transposes move the data between the column and row phases — exactly
+// the communication the paper's FFT discussion attributes the multi-node
+// plateau to.
+
+// DistFFT computes the DFT of x (length R*C, both powers of two,
+// divisible by the world size) on `ranks` ranks and returns the result
+// (gathered at rank 0) plus the world for traffic accounting.
+func DistFFT(ranks int, x []complex128, r, cdim int) ([]complex128, *World, error) {
+	n := len(x)
+	if r*cdim != n {
+		return nil, nil, fmt.Errorf("mpi: %d x %d != %d", r, cdim, n)
+	}
+	if r%ranks != 0 || cdim%ranks != 0 {
+		return nil, nil, fmt.Errorf("mpi: %d ranks must divide both %d and %d", ranks, r, cdim)
+	}
+	planR, err := fft.NewPlan(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	planC, err := fft.NewPlan(cdim)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]complex128, n)
+	w := Run(ranks, func(c *Comm) {
+		p := c.Size()
+		myN1 := r / p    // rows of the R x C view I own initially
+		myN2 := cdim / p // columns I own in the middle phase
+		n1lo := c.Rank() * myN1
+		n2lo := c.Rank() * myN2
+
+		// My initial rows: x[n1*C + n2] for n1 in [n1lo, n1lo+myN1).
+		// Transpose 1: send each destination the column slab it owns.
+		send := make([][]complex128, p)
+		for d := 0; d < p; d++ {
+			blk := make([]complex128, myN1*myN2)
+			for i := 0; i < myN1; i++ {
+				for j := 0; j < myN2; j++ {
+					blk[i*myN2+j] = x[(n1lo+i)*cdim+(d*myN2+j)]
+				}
+			}
+			send[d] = blk
+		}
+		recv := c.AlltoallC128(send)
+		// Assemble my columns: col[j][n1] for j in [0, myN2).
+		cols := make([][]complex128, myN2)
+		for j := range cols {
+			cols[j] = make([]complex128, r)
+		}
+		for s := 0; s < p; s++ {
+			blk := recv[s]
+			for i := 0; i < myN1; i++ {
+				for j := 0; j < myN2; j++ {
+					cols[j][s*myN1+i] = blk[i*myN2+j]
+				}
+			}
+		}
+		// Column FFTs + twiddles.
+		for j := range cols {
+			if err := planR.Transform(nil, cols[j]); err != nil {
+				panic(err)
+			}
+			n2 := n2lo + j
+			for k1 := 0; k1 < r; k1++ {
+				ang := -2 * math.Pi * float64(n2) * float64(k1) / float64(n)
+				cols[j][k1] *= cmplx.Exp(complex(0, ang))
+			}
+		}
+		// Transpose 2: redistribute so each rank owns a k1 slab with all
+		// n2. I currently hold B[n2][k1] for my n2 range and all k1.
+		myK1 := r / p
+		send2 := make([][]complex128, p)
+		for d := 0; d < p; d++ {
+			blk := make([]complex128, myN2*myK1)
+			for j := 0; j < myN2; j++ {
+				for k := 0; k < myK1; k++ {
+					blk[j*myK1+k] = cols[j][d*myK1+k]
+				}
+			}
+			send2[d] = blk
+		}
+		recv2 := c.AlltoallC128(send2)
+		// Assemble rows over n2: rowK[k][n2] for my k1 range.
+		rows := make([][]complex128, myK1)
+		for k := range rows {
+			rows[k] = make([]complex128, cdim)
+		}
+		for s := 0; s < p; s++ {
+			blk := recv2[s]
+			for j := 0; j < cdim/p; j++ {
+				for k := 0; k < myK1; k++ {
+					rows[k][s*(cdim/p)+j] = blk[j*myK1+k]
+				}
+			}
+		}
+		// Row FFTs over n2 give X[k2*R + k1].
+		k1lo := c.Rank() * myK1
+		for k := range rows {
+			if err := planC.Transform(nil, rows[k]); err != nil {
+				panic(err)
+			}
+		}
+		// Gather at rank 0 into natural order.
+		if c.Rank() == 0 {
+			place := func(k1 int, row []complex128) {
+				for k2 := 0; k2 < cdim; k2++ {
+					out[k2*r+k1] = row[k2]
+				}
+			}
+			for k := range rows {
+				place(k1lo+k, rows[k])
+			}
+			for s := 1; s < p; s++ {
+				for k := 0; k < myK1; k++ {
+					place(s*myK1+k, c.RecvC128(s))
+				}
+			}
+		} else {
+			for k := range rows {
+				c.Send(0, rows[k])
+			}
+		}
+	})
+	return out, w, nil
+}

@@ -1,0 +1,267 @@
+// Package mpi is a small message-passing substrate: SPMD ranks run as
+// goroutines and communicate through typed point-to-point channels, with
+// the collectives the HPCC codes need (broadcast, allreduce, all-to-all,
+// gather) and per-rank traffic accounting. The multi-node HPL and FFT
+// experiments of Figure 9 are modeled analytically in internal/hpcc; this
+// package complements them with *functionally* distributed versions of
+// both algorithms (see dhpl.go and dfft.go), verified against the serial
+// kernels, so the communication patterns the paper discusses — HPL's
+// panel broadcasts, FFT's transposes — exist as real code.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// World is a communicator: `size` ranks with all-to-all mailboxes.
+type World struct {
+	size      int
+	mailboxes [][]chan any // mailboxes[src][dst]
+	bytesSent []int64
+	barrier   *barrier
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Run executes fn on `size` ranks concurrently and waits for all of them.
+// It returns the world for post-run inspection (traffic counters).
+func Run(size int, fn func(c *Comm)) *World {
+	if size < 1 {
+		panic("mpi: size must be >= 1")
+	}
+	w := &World{
+		size:      size,
+		mailboxes: make([][]chan any, size),
+		bytesSent: make([]int64, size),
+		barrier:   newBarrier(size),
+	}
+	for s := range w.mailboxes {
+		w.mailboxes[s] = make([]chan any, size)
+		for d := range w.mailboxes[s] {
+			w.mailboxes[s][d] = make(chan any, 4)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(size)
+	for r := 0; r < size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			fn(&Comm{w: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	return w
+}
+
+// Rank returns this rank's id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.size }
+
+// BytesSent returns the total bytes sent by rank r (post-run accounting).
+func (w *World) BytesSent(r int) int64 { return atomic.LoadInt64(&w.bytesSent[r]) }
+
+// TotalBytes returns the total traffic of the run.
+func (w *World) TotalBytes() int64 {
+	var t int64
+	for r := range w.bytesSent {
+		t += w.BytesSent(r)
+	}
+	return t
+}
+
+func payloadBytes(v any) int64 {
+	switch x := v.(type) {
+	case []float64:
+		return int64(8 * len(x))
+	case []complex128:
+		return int64(16 * len(x))
+	case float64:
+		return 8
+	case int:
+		return 8
+	default:
+		return 8
+	}
+}
+
+// Send delivers v to rank dst (buffered; blocks only if dst is 4 messages
+// behind on this channel pair). Slices are copied so the sender may reuse
+// its buffer — MPI semantics.
+func (c *Comm) Send(dst int, v any) {
+	if dst < 0 || dst >= c.w.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	switch x := v.(type) {
+	case []float64:
+		v = append([]float64(nil), x...)
+	case []complex128:
+		v = append([]complex128(nil), x...)
+	}
+	atomic.AddInt64(&c.w.bytesSent[c.rank], payloadBytes(v))
+	c.w.mailboxes[c.rank][dst] <- v
+}
+
+// Recv blocks until a message from src arrives and returns it.
+func (c *Comm) Recv(src int) any {
+	if src < 0 || src >= c.w.size {
+		panic(fmt.Sprintf("mpi: recv from invalid rank %d", src))
+	}
+	return <-c.w.mailboxes[src][c.rank]
+}
+
+// RecvF64 receives a []float64 from src.
+func (c *Comm) RecvF64(src int) []float64 { return c.Recv(src).([]float64) }
+
+// RecvC128 receives a []complex128 from src.
+func (c *Comm) RecvC128(src int) []complex128 { return c.Recv(src).([]complex128) }
+
+// Barrier synchronizes all ranks.
+func (c *Comm) Barrier() { c.w.barrier.wait() }
+
+// Bcast distributes root's buf to every rank; non-root ranks return the
+// received copy (binomial-tree pattern, like a real MPI broadcast).
+func (c *Comm) Bcast(root int, buf []float64) []float64 {
+	// Rotate so the root is virtual rank 0.
+	vr := (c.rank - root + c.Size()) % c.Size()
+	if vr != 0 {
+		src := ((vr - lowestBit(vr)) + root) % c.Size()
+		buf = c.RecvF64(src)
+	}
+	for bit := nextPow2(c.Size()) / 2; bit > 0; bit /= 2 {
+		if vr&(bit-1) == 0 && vr&bit == 0 {
+			peer := vr | bit
+			if peer < c.Size() {
+				c.Send((peer+root)%c.Size(), buf)
+			}
+		}
+	}
+	return buf
+}
+
+func lowestBit(x int) int { return x & (-x) }
+
+func nextPow2(x int) int {
+	p := 1
+	for p < x {
+		p *= 2
+	}
+	return p
+}
+
+// AllreduceSum computes the element-wise sum of x across ranks; every
+// rank returns the full result (gather-to-0 + broadcast).
+func (c *Comm) AllreduceSum(x []float64) []float64 {
+	if c.rank == 0 {
+		sum := append([]float64(nil), x...)
+		for src := 1; src < c.Size(); src++ {
+			part := c.RecvF64(src)
+			for i := range sum {
+				sum[i] += part[i]
+			}
+		}
+		return c.Bcast(0, sum)
+	}
+	c.Send(0, x)
+	return c.Bcast(0, nil)
+}
+
+// AllreduceMaxLoc returns the global maximum of (val) and the rank/index
+// that holds it — the pivot-search collective of a distributed LU.
+func (c *Comm) AllreduceMaxLoc(val float64, idx int) (float64, int, int) {
+	triple := []float64{val, float64(c.rank), float64(idx)}
+	if c.rank == 0 {
+		best := triple
+		for src := 1; src < c.Size(); src++ {
+			t := c.RecvF64(src)
+			if t[0] > best[0] {
+				best = t
+			}
+		}
+		best = c.Bcast(0, best)
+		return best[0], int(best[1]), int(best[2])
+	}
+	c.Send(0, triple)
+	best := c.Bcast(0, nil)
+	return best[0], int(best[1]), int(best[2])
+}
+
+// AlltoallC128 exchanges send[d] with every rank d; returns recv where
+// recv[s] is the block sent by rank s — the FFT transpose collective.
+func (c *Comm) AlltoallC128(send [][]complex128) [][]complex128 {
+	if len(send) != c.Size() {
+		panic("mpi: alltoall needs one block per rank")
+	}
+	recv := make([][]complex128, c.Size())
+	// Self-copy without a channel round trip.
+	recv[c.rank] = append([]complex128(nil), send[c.rank]...)
+	// Phase pattern: at step s exchange with rank^s... simple ordered
+	// exchange to avoid deadlock with buffered channels: send to all,
+	// then receive from all (buffers sized to world).
+	for d := 0; d < c.Size(); d++ {
+		if d != c.rank {
+			c.Send(d, send[d])
+		}
+	}
+	for s := 0; s < c.Size(); s++ {
+		if s != c.rank {
+			recv[s] = c.RecvC128(s)
+		}
+	}
+	return recv
+}
+
+// GatherF64 collects each rank's buf at the root (rank order); non-root
+// ranks return nil.
+func (c *Comm) GatherF64(root int, buf []float64) [][]float64 {
+	if c.rank == root {
+		out := make([][]float64, c.Size())
+		out[root] = append([]float64(nil), buf...)
+		for s := 0; s < c.Size(); s++ {
+			if s != root {
+				out[s] = c.RecvF64(s)
+			}
+		}
+		return out
+	}
+	c.Send(root, buf)
+	return nil
+}
+
+// barrier is a reusable sense-reversing barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+	} else {
+		for phase == b.phase {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,132 @@
+// Package npb implements the six NAS Parallel Benchmarks the paper runs
+// (Section V): the pseudo-applications BT, SP and LU and the kernels CG,
+// EP and UA, in Go, threaded through the internal/omp runtime.
+//
+// EP follows the NPB specification exactly (same 5^13 LCG, same Gaussian
+// acceptance scheme, same stream partitioning). CG, BT, SP, LU and UA are
+// genuine implementations of the same algorithms (conjugate gradient on a
+// synthetic sparse SPD matrix; ADI block-tridiagonal, scalar-pentadiagonal
+// and SSOR solvers on 3-D grids; adaptively refined heat transfer) with
+// self-contained verification; their RNG consumption order differs from
+// the Fortran originals, so official NPB verification constants do not
+// apply — correctness is established against analytic solutions and
+// invariants instead (see each benchmark's tests).
+//
+// Each benchmark reports a Stats block (flops, stream/random bytes,
+// transcendental calls, barrier count, serial fraction) computed from its
+// loop structure; these are the AppProfiles that drive the Figure 3-6
+// models in internal/figures.
+package npb
+
+import (
+	"fmt"
+
+	"ookami/internal/omp"
+	"ookami/internal/perfmodel"
+)
+
+// Class is an NPB problem class.
+type Class byte
+
+const (
+	ClassS Class = 'S'
+	ClassW Class = 'W'
+	ClassA Class = 'A'
+	ClassB Class = 'B'
+	ClassC Class = 'C'
+)
+
+// String returns the class letter.
+func (c Class) String() string { return string(c) }
+
+// Stats characterizes one benchmark run for the performance model.
+type Stats struct {
+	Flops        float64
+	StreamBytes  float64
+	StridedBytes float64 // cache-line-granularity traffic (strided sweeps)
+	RandomBytes  float64
+	// ChainFrac: fraction of flops in serial recurrences (line solves,
+	// SSOR) priced at FMA latency by the model.
+	ChainFrac float64
+	MathCalls map[perfmodel.MathFn]float64
+	// VecFrac is the fraction of the arithmetic that lives in loops a
+	// vectorizing compiler can put into SIMD form (EP's generator
+	// recurrence and UA's pointer chasing keep theirs low).
+	VecFrac    float64
+	SerialFrac float64
+	TouchChurn float64
+	Barriers   float64
+}
+
+// AppProfile converts Stats to the perfmodel characterization.
+func (s Stats) AppProfile(name string) perfmodel.AppProfile {
+	return perfmodel.AppProfile{
+		Name:         name,
+		Flops:        s.Flops,
+		MathCalls:    s.MathCalls,
+		StreamBytes:  s.StreamBytes,
+		StridedBytes: s.StridedBytes,
+		RandomBytes:  s.RandomBytes,
+		ChainFrac:    s.ChainFrac,
+		SerialFrac:   s.SerialFrac,
+		TouchChurn:   s.TouchChurn,
+		Barriers:     s.Barriers,
+	}
+}
+
+// Result is the outcome of running a benchmark.
+type Result struct {
+	Benchmark string
+	Class     Class
+	Verified  bool
+	// Checksum is the benchmark's verification quantity (EP: sx; CG: zeta;
+	// BT/SP/LU: RMS residual norm; UA: total heat).
+	Checksum float64
+	Stats    Stats
+}
+
+// Benchmark is one NPB application.
+type Benchmark interface {
+	// Name returns the two-letter NPB name.
+	Name() string
+	// Run executes the benchmark for the class on the team and verifies.
+	Run(c Class, team *omp.Team) (Result, error)
+	// Characterize returns the Stats for a class without running it
+	// (evaluated from the loop-structure formulas; used for class C,
+	// which is too large to execute in tests).
+	Characterize(c Class) Stats
+}
+
+// Suite lists the six benchmarks in the paper's order.
+func Suite() []Benchmark {
+	return []Benchmark{NewBT(), NewCG(), NewEP(), NewLU(), NewSP(), NewUA()}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range Suite() {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("npb: unknown benchmark %q", name)
+}
+
+// gridSize returns the per-dimension grid size and iteration count for the
+// grid-based pseudo-applications (BT/SP/LU), scaled from the NPB classes.
+// The executed classes (S, W) are small enough for CI; class C matches the
+// paper's 162^3 for characterization.
+func gridSize(c Class) (n, iters int) {
+	switch c {
+	case ClassS:
+		return 12, 8
+	case ClassW:
+		return 24, 12
+	case ClassA:
+		return 64, 50
+	case ClassB:
+		return 102, 100
+	default: // ClassC
+		return 162, 200
+	}
+}

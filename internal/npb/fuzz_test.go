@@ -1,0 +1,87 @@
+package npb
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzPentaSolve(f *testing.F) {
+	f.Add(5.0, -1.0, 0.2, int64(11))
+	f.Add(10.0, 2.0, 1.0, int64(3))
+	f.Fuzz(func(t *testing.T, d, c, e float64, seed int64) {
+		// Constrain to diagonally dominant systems (the solver's contract).
+		c = math.Mod(math.Abs(c), 1) + 0.1
+		e = math.Mod(math.Abs(e), 0.4) + 0.05
+		d = math.Abs(d) + 2*(c+e) + 0.5
+		n := int(seed%29) + 3
+		if n < 3 {
+			n = 3
+		}
+		// Manufacture a solution and its RHS.
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = math.Sin(float64(i)*0.7 + float64(seed%13))
+		}
+		rhs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := d * want[i]
+			if i >= 1 {
+				s += c * want[i-1]
+			}
+			if i >= 2 {
+				s += e * want[i-2]
+			}
+			if i+1 < n {
+				s += c * want[i+1]
+			}
+			if i+2 < n {
+				s += e * want[i+2]
+			}
+			rhs[i] = s
+		}
+		alpha := make([]float64, n)
+		bsup := make([]float64, n)
+		pentaSolve(d, c, e, rhs, alpha, bsup)
+		for i := range want {
+			if math.Abs(rhs[i]-want[i]) > 1e-8 {
+				t.Fatalf("d=%v c=%v e=%v n=%d: x[%d]=%v want %v", d, c, e, n, i, rhs[i], want[i])
+			}
+		}
+	})
+}
+
+func FuzzFactor5Solve(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		// Build a diagonally dominant 5x5 from the seed.
+		var m Mat5
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(int64(s>>11))/float64(1<<52) - 1
+		}
+		for i := 0; i < nComp; i++ {
+			rowSum := 0.0
+			for j := 0; j < nComp; j++ {
+				if i != j {
+					m[i*nComp+j] = next()
+					rowSum += math.Abs(m[i*nComp+j])
+				}
+			}
+			m[i*nComp+i] = rowSum + 1 + math.Abs(next())
+		}
+		var want Vec5
+		for i := range want {
+			want[i] = next() * 3
+		}
+		b := m.MulVec(want)
+		fac := Factor5(m)
+		got := fac.Solve(b)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("seed %d: x[%d] = %v want %v", seed, i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,261 @@
+package npb
+
+// Small dense linear algebra on the 5-component blocks of BT and LU.
+
+// Mat5 is a row-major 5x5 matrix.
+type Mat5 [nComp * nComp]float64
+
+// Vec5 is a 5-component state vector.
+type Vec5 [nComp]float64
+
+// Ident5 returns the identity.
+func Ident5() Mat5 {
+	var m Mat5
+	for i := 0; i < nComp; i++ {
+		m[i*nComp+i] = 1
+	}
+	return m
+}
+
+// AddScaled returns a + s*b.
+func (a Mat5) AddScaled(s float64, b Mat5) Mat5 {
+	for i := range a {
+		a[i] += s * b[i]
+	}
+	return a
+}
+
+// MulMat returns a*b.
+func (a Mat5) MulMat(b Mat5) Mat5 {
+	var c Mat5
+	for i := 0; i < nComp; i++ {
+		for k := 0; k < nComp; k++ {
+			aik := a[i*nComp+k]
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < nComp; j++ {
+				c[i*nComp+j] += aik * b[k*nComp+j]
+			}
+		}
+	}
+	return c
+}
+
+// MulVec returns a*v.
+func (a Mat5) MulVec(v Vec5) Vec5 {
+	var y Vec5
+	for i := 0; i < nComp; i++ {
+		s := 0.0
+		for j := 0; j < nComp; j++ {
+			s += a[i*nComp+j] * v[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// LU5 is an in-place LU factorization with partial pivoting of a 5x5
+// matrix, storing the pivot order.
+type LU5 struct {
+	a   Mat5
+	piv [nComp]int
+}
+
+// Factor computes the factorization; it panics on exact singularity
+// (cannot happen for the diagonally dominant blocks the solvers build).
+func Factor5(m Mat5) LU5 {
+	f := LU5{a: m}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for col := 0; col < nComp; col++ {
+		// Pivot.
+		p := col
+		best := abs(f.a[col*nComp+col])
+		for r := col + 1; r < nComp; r++ {
+			if v := abs(f.a[r*nComp+col]); v > best {
+				best, p = v, r
+			}
+		}
+		if best == 0 {
+			panic("npb: singular 5x5 block")
+		}
+		if p != col {
+			for j := 0; j < nComp; j++ {
+				f.a[col*nComp+j], f.a[p*nComp+j] = f.a[p*nComp+j], f.a[col*nComp+j]
+			}
+			f.piv[col], f.piv[p] = f.piv[p], f.piv[col]
+		}
+		inv := 1 / f.a[col*nComp+col]
+		for r := col + 1; r < nComp; r++ {
+			l := f.a[r*nComp+col] * inv
+			f.a[r*nComp+col] = l
+			for j := col + 1; j < nComp; j++ {
+				f.a[r*nComp+j] -= l * f.a[col*nComp+j]
+			}
+		}
+	}
+	return f
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Solve returns m^-1 b for the factored matrix.
+func (f *LU5) Solve(b Vec5) Vec5 {
+	var x Vec5
+	// Apply pivoting.
+	for i := 0; i < nComp; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution (unit lower).
+	for i := 1; i < nComp; i++ {
+		for j := 0; j < i; j++ {
+			x[i] -= f.a[i*nComp+j] * x[j]
+		}
+	}
+	// Back substitution.
+	for i := nComp - 1; i >= 0; i-- {
+		for j := i + 1; j < nComp; j++ {
+			x[i] -= f.a[i*nComp+j] * x[j]
+		}
+		x[i] /= f.a[i*nComp+i]
+	}
+	return x
+}
+
+// SolveMat returns m^-1 B column-wise (used by the block-Thomas
+// elimination).
+func (f *LU5) SolveMat(b Mat5) Mat5 {
+	var out Mat5
+	for col := 0; col < nComp; col++ {
+		var v Vec5
+		for r := 0; r < nComp; r++ {
+			v[r] = b[r*nComp+col]
+		}
+		s := f.Solve(v)
+		for r := 0; r < nComp; r++ {
+			out[r*nComp+col] = s[r]
+		}
+	}
+	return out
+}
+
+// blockTriSolve solves a block-tridiagonal system with constant
+// off-diagonal blocks lo*I and hi*I and per-node diagonal block `diag`
+// (the same at every node — the constant-coefficient operator of the BT
+// sweeps). rhs holds nNodes Vec5 right-hand sides and receives the
+// solution. Scratch slices cPrime (nNodes Mat5) and dPrime (nNodes Vec5)
+// are supplied by the caller to avoid per-line allocation.
+func blockTriSolve(diag Mat5, lo, hi float64, rhs []Vec5, cPrime []Mat5, dPrime []Vec5) {
+	n := len(rhs)
+	if n == 0 {
+		return
+	}
+	up := Ident5()
+	for i := range up {
+		up[i] *= hi
+	}
+	// Forward elimination (block Thomas).
+	f := Factor5(diag)
+	cPrime[0] = f.SolveMat(up)
+	dPrime[0] = f.Solve(rhs[0])
+	for i := 1; i < n; i++ {
+		// Modified diagonal: diag - lo*cPrime[i-1].
+		d := diag
+		for r := 0; r < nComp; r++ {
+			for c := 0; c < nComp; c++ {
+				d[r*nComp+c] -= lo * cPrime[i-1][r*nComp+c]
+			}
+		}
+		fi := Factor5(d)
+		if i < n-1 {
+			cPrime[i] = fi.SolveMat(up)
+		}
+		var b Vec5
+		for r := 0; r < nComp; r++ {
+			b[r] = rhs[i][r] - lo*dPrime[i-1][r]
+		}
+		dPrime[i] = fi.Solve(b)
+	}
+	// Back substitution.
+	rhs[n-1] = dPrime[n-1]
+	for i := n - 2; i >= 0; i-- {
+		for r := 0; r < nComp; r++ {
+			s := 0.0
+			for c := 0; c < nComp; c++ {
+				s += cPrime[i][r*nComp+c] * rhs[i+1][c]
+			}
+			rhs[i][r] = dPrime[i][r] - s
+		}
+	}
+}
+
+// pentaSolve solves a constant-coefficient scalar pentadiagonal system
+// in-place: bands (e, c, d, c, e) — symmetric, diagonally dominant (no
+// pivoting). rhs is overwritten with the solution; alpha and bsup are
+// caller-provided scratch of the same length.
+//
+// LU elimination: the second super-diagonal of U stays e; with
+// m2 = e/alpha[i-2] and m1 = (c - m2*bsup[i-2]) / alpha[i-1],
+//
+//	alpha[i] = d - m2*e - m1*bsup[i-1]
+//	bsup[i]  = c - m1*e
+//	rhs[i]  -= m2*rhs[i-2] + m1*rhs[i-1]
+//
+// then back-substitute x[i] = (rhs[i] - bsup[i]*x[i+1] - e*x[i+2])/alpha[i].
+func pentaSolve(d, c, e float64, rhs, alpha, bsup []float64) {
+	n := len(rhs)
+	if n == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		var m1, m2 float64
+		if i >= 2 {
+			m2 = e / alpha[i-2]
+		}
+		if i >= 1 {
+			num := c
+			if i >= 2 {
+				num -= m2 * bsup[i-2]
+			}
+			m1 = num / alpha[i-1]
+		}
+		a := d
+		if i >= 2 {
+			a -= m2 * e
+		}
+		if i >= 1 {
+			a -= m1 * bsup[i-1]
+		}
+		alpha[i] = a
+		b := c
+		if i >= 1 {
+			b -= m1 * e
+		}
+		bsup[i] = b
+		r := rhs[i]
+		if i >= 2 {
+			r -= m2 * rhs[i-2]
+		}
+		if i >= 1 {
+			r -= m1 * rhs[i-1]
+		}
+		rhs[i] = r
+	}
+	for i := n - 1; i >= 0; i-- {
+		x := rhs[i]
+		if i+1 < n {
+			x -= bsup[i] * rhs[i+1]
+		}
+		if i+2 < n {
+			x -= e * rhs[i+2]
+		}
+		rhs[i] = x / alpha[i]
+	}
+}

@@ -1,0 +1,69 @@
+package npb
+
+import (
+	"math"
+	"testing"
+)
+
+// Reference tests against the published NPB verification values where our
+// implementation is spec-exact, and larger-class runs guarded by -short.
+
+func TestEPMatchesOfficialNPBClassS(t *testing.T) {
+	// EP consumes the 5^13 LCG stream exactly as the NPB spec prescribes,
+	// so its Gaussian sums must match the official class S verification
+	// values (NPB 3.x ep.f):
+	//   sx.ver = -3.247834652034740e+3
+	//   sy.ver = -6.958407078382297e+3
+	// The only slack is summation order across chunks (~1e-12 relative).
+	out := NewEP().RunFull(ClassS, team(4))
+	const (
+		wantSX = -3.247834652034740e+3
+		wantSY = -6.958407078382297e+3
+	)
+	if rel := math.Abs((out.SX - wantSX) / wantSX); rel > 1e-9 {
+		t.Errorf("EP class S sx = %.15g, official %.15g (rel %g)", out.SX, wantSX, rel)
+	}
+	if rel := math.Abs((out.SY - wantSY) / wantSY); rel > 1e-9 {
+		t.Errorf("EP class S sy = %.15g, official %.15g (rel %g)", out.SY, wantSY, rel)
+	}
+}
+
+func TestEPMatchesOfficialNPBClassW(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W in -short mode")
+	}
+	// NPB 3.x class W (m=25): sx.ver = -2.863319731645753e+3,
+	// sy.ver = -6.320053679109499e+3.
+	out := NewEP().RunFull(ClassW, team(8))
+	const (
+		wantSX = -2.863319731645753e+3
+		wantSY = -6.320053679109499e+3
+	)
+	if rel := math.Abs((out.SX - wantSX) / wantSX); rel > 1e-9 {
+		t.Errorf("EP class W sx = %.15g, official %.15g (rel %g)", out.SX, wantSX, rel)
+	}
+	if rel := math.Abs((out.SY - wantSY) / wantSY); rel > 1e-9 {
+		t.Errorf("EP class W sy = %.15g, official %.15g (rel %g)", out.SY, wantSY, rel)
+	}
+}
+
+func TestClassWBenchmarksVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W in -short mode")
+	}
+	// The grid solvers and CG at the next class up: same contracts as S.
+	for _, name := range []string{"BT", "CG", "SP", "LU", "UA"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Run(ClassW, team(8))
+		if err != nil {
+			t.Errorf("%s class W: %v", name, err)
+			continue
+		}
+		if !res.Verified {
+			t.Errorf("%s class W: not verified", name)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package omp is a small OpenMP-like runtime: parallel-for over index
+// ranges with static, chunked, dynamic and guided schedules, reductions,
+// and a page-placement tracker that reproduces the Section V data-placement
+// story (the Fujitsu compiler's default "allocate everything on CMG 0"
+// versus first-touch).
+//
+// The runtime executes with real goroutines and is used by the NPB, LULESH
+// and HPCC implementations; the performance *model* for placement lives in
+// internal/perfmodel, while this package provides the functional behaviour
+// and the measured placement distributions.
+package omp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Schedule selects how iterations are divided among threads.
+type Schedule int
+
+const (
+	// Static divides the range into one contiguous block per thread.
+	Static Schedule = iota
+	// StaticChunk deals fixed-size chunks round-robin.
+	StaticChunk
+	// Dynamic hands out chunks on demand.
+	Dynamic
+	// Guided hands out geometrically shrinking chunks.
+	Guided
+)
+
+// Team is a reusable group of worker threads of fixed size.
+type Team struct {
+	n int
+}
+
+// NewTeam creates a team of n threads. n <= 0 selects GOMAXPROCS.
+func NewTeam(n int) *Team {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Team{n: n}
+}
+
+// Size returns the number of threads in the team.
+func (t *Team) Size() int { return t.n }
+
+// Parallel runs fn(tid) once on every team member concurrently and waits
+// for all of them (an omp parallel region).
+func (t *Team) Parallel(fn func(tid int)) {
+	var wg sync.WaitGroup
+	wg.Add(t.n)
+	for tid := 0; tid < t.n; tid++ {
+		go func(id int) {
+			defer wg.Done()
+			fn(id)
+		}(tid)
+	}
+	wg.Wait()
+}
+
+// For executes fn(i) for every i in [lo, hi) using the schedule, with the
+// given chunk size (ignored by Static; defaulted sensibly if <= 0).
+func (t *Team) For(lo, hi int, sched Schedule, chunk int, fn func(i int)) {
+	t.ForRange(lo, hi, sched, chunk, func(a, b int) {
+		for i := a; i < b; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForRange is like For but hands each thread whole [a, b) blocks — the
+// form the kernels use so that inner loops stay vectorizable.
+func (t *Team) ForRange(lo, hi int, sched Schedule, chunk int, fn func(a, b int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	switch sched {
+	case Static:
+		t.Parallel(func(tid int) {
+			a := lo + tid*n/t.n
+			b := lo + (tid+1)*n/t.n
+			if a < b {
+				fn(a, b)
+			}
+		})
+	case StaticChunk:
+		c := chunkOrDefault(chunk, n, t.n)
+		t.Parallel(func(tid int) {
+			for a := lo + tid*c; a < hi; a += t.n * c {
+				b := a + c
+				if b > hi {
+					b = hi
+				}
+				fn(a, b)
+			}
+		})
+	case Dynamic:
+		c := chunkOrDefault(chunk, n, t.n*8)
+		var next int64 = int64(lo)
+		t.Parallel(func(tid int) {
+			for {
+				a := int(atomic.AddInt64(&next, int64(c))) - c
+				if a >= hi {
+					return
+				}
+				b := a + c
+				if b > hi {
+					b = hi
+				}
+				fn(a, b)
+			}
+		})
+	case Guided:
+		var mu sync.Mutex
+		pos := lo
+		minChunk := chunkOrDefault(chunk, 1, 1)
+		t.Parallel(func(tid int) {
+			for {
+				mu.Lock()
+				if pos >= hi {
+					mu.Unlock()
+					return
+				}
+				c := (hi - pos) / (2 * t.n)
+				if c < minChunk {
+					c = minChunk
+				}
+				a := pos
+				b := a + c
+				if b > hi {
+					b = hi
+				}
+				pos = b
+				mu.Unlock()
+				fn(a, b)
+			}
+		})
+	default:
+		panic("omp: unknown schedule")
+	}
+}
+
+func chunkOrDefault(chunk, n, parts int) int {
+	if chunk > 0 {
+		return chunk
+	}
+	c := n / parts
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// ReduceSum runs fn over [lo, hi) statically partitioned and returns the
+// sum of the per-thread partial results (an omp reduction(+)). The
+// summation order is deterministic: partials are combined in thread order.
+func (t *Team) ReduceSum(lo, hi int, fn func(a, b int) float64) float64 {
+	partial := make([]float64, t.n)
+	n := hi - lo
+	if n <= 0 {
+		return 0
+	}
+	t.Parallel(func(tid int) {
+		a := lo + tid*n/t.n
+		b := lo + (tid+1)*n/t.n
+		if a < b {
+			partial[tid] = fn(a, b)
+		}
+	})
+	sum := 0.0
+	for _, p := range partial {
+		sum += p
+	}
+	return sum
+}
+
+// ReduceMax is the max-reduction analogue of ReduceSum. It returns the
+// maximum of the per-thread results; the identity for an empty range is
+// -Inf supplied by the caller's fn semantics (fn is never called then and
+// 0 is returned).
+func (t *Team) ReduceMax(lo, hi int, fn func(a, b int) float64) float64 {
+	n := hi - lo
+	if n <= 0 {
+		return 0
+	}
+	partial := make([]float64, t.n)
+	has := make([]bool, t.n)
+	t.Parallel(func(tid int) {
+		a := lo + tid*n/t.n
+		b := lo + (tid+1)*n/t.n
+		if a < b {
+			partial[tid] = fn(a, b)
+			has[tid] = true
+		}
+	})
+	var best float64
+	first := true
+	for i, p := range partial {
+		if !has[i] {
+			continue
+		}
+		if first || p > best {
+			best = p
+			first = false
+		}
+	}
+	return best
+}
+
+// Barrier is a reusable synchronization barrier for n participants.
+type Barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase int
+}
+
+// NewBarrier creates a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n participants have called Wait.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+	} else {
+		for phase == b.phase {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,79 @@
+package omp
+
+import "sync/atomic"
+
+// PageTracker records which NUMA domain each page of a simulated
+// allocation lands on, reproducing Section V's placement experiment: under
+// the Fujitsu compiler's default, the master thread (CMG 0) touches every
+// page during serial initialization; under first-touch with parallel
+// initialization, pages distribute across the CMGs of the touching threads.
+
+// PageSize is the tracked placement granularity (64 KiB, the A64FX's
+// large-page-ish granule; the exact value only scales the counts).
+const PageSize = 64 << 10
+
+// PageTracker maps pages of one allocation to NUMA domains. It is safe for
+// concurrent use: competing first touches are resolved with a compare-and-
+// swap, exactly one winner per page, as the OS's first-touch policy does.
+type PageTracker struct {
+	bytesPerElem int
+	pages        []int32 // NUMA id per page, -1 = untouched
+}
+
+// NewPageTracker tracks an allocation of n elements of elemSize bytes.
+func NewPageTracker(n, elemSize int) *PageTracker {
+	pages := (n*elemSize + PageSize - 1) / PageSize
+	pt := &PageTracker{bytesPerElem: elemSize, pages: make([]int32, pages)}
+	for i := range pt.pages {
+		pt.pages[i] = -1
+	}
+	return pt
+}
+
+// Touch records that element i was first touched by a thread on the given
+// NUMA domain. Subsequent touches of the same page do not move it
+// (first-touch semantics).
+func (pt *PageTracker) Touch(i, numa int) {
+	p := i * pt.bytesPerElem / PageSize
+	if p >= 0 && p < len(pt.pages) {
+		atomic.CompareAndSwapInt32(&pt.pages[p], -1, int32(numa))
+	}
+}
+
+// TouchRange first-touches elements [a, b) from the given NUMA domain.
+func (pt *PageTracker) TouchRange(a, b, numa int) {
+	if a < 0 {
+		a = 0
+	}
+	for p := a * pt.bytesPerElem / PageSize; p <= (b-1)*pt.bytesPerElem/PageSize && p < len(pt.pages); p++ {
+		atomic.CompareAndSwapInt32(&pt.pages[p], -1, int32(numa))
+	}
+}
+
+// Distribution returns the fraction of touched pages on each of `domains`
+// NUMA domains.
+func (pt *PageTracker) Distribution(domains int) []float64 {
+	counts := make([]float64, domains)
+	touched := 0
+	for i := range pt.pages {
+		d := int(atomic.LoadInt32(&pt.pages[i]))
+		if d >= 0 && d < domains {
+			counts[d]++
+			touched++
+		}
+	}
+	if touched == 0 {
+		return counts
+	}
+	for i := range counts {
+		counts[i] /= float64(touched)
+	}
+	return counts
+}
+
+// ConcentrationOnNode0 returns the fraction of touched pages on domain 0 —
+// 1.0 under serial initialization (the Fujitsu default behaviour), ~1/d
+// under parallel first-touch across d domains.
+func (pt *PageTracker) ConcentrationOnNode0(domains int) float64 {
+	return pt.Distribution(domains)[0]
+}

@@ -1,0 +1,57 @@
+package omp
+
+// Additional OpenMP-style constructs used by the workloads: independent
+// sections, collapsed 2-D loops, and an ordered-merge helper for
+// deterministic reductions over irregular structures.
+
+// Sections runs each function concurrently on the team (omp sections) and
+// waits for all of them. With more sections than threads, the sections
+// queue dynamically.
+func (t *Team) Sections(fns ...func()) {
+	if len(fns) == 0 {
+		return
+	}
+	t.ForRange(0, len(fns), Dynamic, 1, func(a, b int) {
+		for i := a; i < b; i++ {
+			fns[i]()
+		}
+	})
+}
+
+// Collapse2 iterates fn(i, j) over the rectangle [0,ni) x [0,nj) with the
+// combined iteration space partitioned across the team — omp's
+// collapse(2), which balances load when ni alone is smaller than the
+// team.
+func (t *Team) Collapse2(ni, nj int, sched Schedule, fn func(i, j int)) {
+	if ni <= 0 || nj <= 0 {
+		return
+	}
+	t.ForRange(0, ni*nj, sched, 0, func(a, b int) {
+		for k := a; k < b; k++ {
+			fn(k/nj, k%nj)
+		}
+	})
+}
+
+// OrderedSlices runs fn over static per-thread ranges, collecting each
+// range's output slice, and concatenates them in range order — the
+// pattern for building result lists in parallel without losing
+// determinism.
+func OrderedSlices[T any](t *Team, n int, fn func(a, b int) []T) []T {
+	if n <= 0 {
+		return nil
+	}
+	parts := make([][]T, t.Size())
+	t.Parallel(func(tid int) {
+		a := tid * n / t.Size()
+		b := (tid + 1) * n / t.Size()
+		if a < b {
+			parts[tid] = fn(a, b)
+		}
+	})
+	var out []T
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

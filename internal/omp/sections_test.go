@@ -1,0 +1,90 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSectionsRunAll(t *testing.T) {
+	team := NewTeam(3)
+	var flags [7]int32
+	var fns []func()
+	for i := range flags {
+		i := i
+		fns = append(fns, func() { atomic.AddInt32(&flags[i], 1) })
+	}
+	team.Sections(fns...)
+	for i, f := range flags {
+		if f != 1 {
+			t.Errorf("section %d ran %d times", i, f)
+		}
+	}
+	team.Sections() // no-op
+}
+
+func TestCollapse2CoversRectangle(t *testing.T) {
+	team := NewTeam(5)
+	const ni, nj = 13, 17
+	var hits [ni * nj]int32
+	team.Collapse2(ni, nj, Static, func(i, j int) {
+		if i < 0 || i >= ni || j < 0 || j >= nj {
+			t.Errorf("out of range (%d,%d)", i, j)
+			return
+		}
+		atomic.AddInt32(&hits[i*nj+j], 1)
+	})
+	for k, h := range hits {
+		if h != 1 {
+			t.Fatalf("cell %d hit %d times", k, h)
+		}
+	}
+	// Degenerate rectangles do nothing.
+	ran := false
+	team.Collapse2(0, 5, Static, func(int, int) { ran = true })
+	team.Collapse2(5, 0, Static, func(int, int) { ran = true })
+	if ran {
+		t.Error("degenerate collapse ran")
+	}
+}
+
+func TestCollapse2BalancesSmallOuter(t *testing.T) {
+	// ni=2 with an 8-thread team: plain outer-loop partitioning would
+	// leave 6 threads idle; collapse must give every thread work.
+	team := NewTeam(8)
+	var perThread [8]int32
+	team.ForRange(0, 2*100, Static, 0, func(a, b int) {
+		tid := a * 8 / 200
+		atomic.AddInt32(&perThread[tid], int32(b-a))
+	})
+	busy := 0
+	for _, c := range perThread {
+		if c > 0 {
+			busy++
+		}
+	}
+	if busy < 8 {
+		t.Errorf("only %d/8 threads got work from the collapsed space", busy)
+	}
+}
+
+func TestOrderedSlices(t *testing.T) {
+	team := NewTeam(4)
+	out := OrderedSlices(team, 100, func(a, b int) []int {
+		var s []int
+		for i := a; i < b; i++ {
+			s = append(s, i*i)
+		}
+		return s
+	})
+	if len(out) != 100 {
+		t.Fatalf("length %d", len(out))
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d: order not preserved", i, v)
+		}
+	}
+	if OrderedSlices(team, 0, func(a, b int) []int { return []int{1} }) != nil {
+		t.Error("empty range should return nil")
+	}
+}

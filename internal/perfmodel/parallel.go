@@ -1,0 +1,165 @@
+package perfmodel
+
+import (
+	"math"
+
+	"ookami/internal/machine"
+)
+
+// MathFn identifies a transcendental function for library costing.
+type MathFn int
+
+const (
+	FnExp MathFn = iota
+	FnLog
+	FnSin
+	FnPow
+	FnSqrt
+	FnRecip
+)
+
+// String names the function.
+func (f MathFn) String() string {
+	return [...]string{"exp", "log", "sin", "pow", "sqrt", "recip"}[f]
+}
+
+// Placement is the OpenMP data-placement policy of Section V: the Fujitsu
+// compiler's default puts every page on CMG 0; first-touch distributes pages
+// to the CMG of the thread that first writes them.
+type Placement int
+
+const (
+	FirstTouch Placement = iota
+	CMG0
+)
+
+// String names the placement policy.
+func (p Placement) String() string {
+	if p == CMG0 {
+		return "cmg0"
+	}
+	return "first-touch"
+}
+
+// AppProfile characterizes one application run at node level. The values
+// are measured by the instrumented kernel implementations (internal/npb,
+// internal/lulesh), not guessed.
+type AppProfile struct {
+	Name        string
+	Flops       float64            // floating-point operations, whole run
+	MathCalls   map[MathFn]float64 // transcendental evaluations, whole run
+	StreamBytes float64            // contiguous DRAM traffic
+	// StridedBytes is traffic touched at cache-line granularity with poor
+	// spatial reuse (strided line solves): the machine pays for whole
+	// lines, so its effective volume scales with the cache-line size —
+	// A64FX's 256-byte lines quadruple it relative to x86.
+	StridedBytes float64
+	RandomBytes  float64 // gather/latency-bound DRAM traffic
+	// ChainFrac is the fraction of the flops locked in serial dependence
+	// chains (Thomas-algorithm recurrences, SSOR sweeps): they execute at
+	// a rate set by the FMA latency, which is where the A64FX's 9-cycle
+	// FMA hurts relative to Skylake's 4.
+	ChainFrac  float64
+	SerialFrac float64 // Amdahl fraction of the compute work
+	// TouchChurn is the fraction of memory traffic whose placement cannot
+	// be repaired by first-touch because the structures are reallocated or
+	// repartitioned during the run (UA's adaptive refinement).
+	TouchChurn float64
+	Barriers   float64 // synchronization episodes, whole run
+}
+
+// ExecParams describe how a toolchain executed the application on a
+// machine: effective cycles per FLOP of compiled code (vectorization
+// quality), per-call costs for math functions (from the instruction-level
+// model), and data placement.
+type ExecParams struct {
+	CyclesPerFlop float64            // compiled-code cost, cycles per FLOP per core
+	MathCost      map[MathFn]float64 // cycles per element per core
+	Placement     Placement
+	BarrierCycles float64 // cost of one barrier at full occupancy (default 5000)
+}
+
+// chainFactor is the cycles-per-flop of dependence-chain work: the FMA
+// latency divided by the ~4.5-way interleave real codes achieve across
+// independent recurrences (the five components, multiple lines in flight).
+func chainFactor(m machine.Machine) float64 {
+	if m.ISA == machine.SVE {
+		return 9.0 / 4.5
+	}
+	return 4.0 / 4.5
+}
+
+// effectiveBW computes achievable stream and random bandwidth (GB/s) for p
+// threads under the given placement on machine m.
+func effectiveBW(m machine.Machine, p int, placement Placement, churn float64) (stream, random float64) {
+	stream = math.Min(float64(p)*m.StreamBWCore(), m.MemBWNode)
+	random = math.Min(float64(p)*m.RandomBWCore(), m.RandomBWNode())
+	cmg0Frac := churn // traffic that behaves as if concentrated on one NUMA node
+	if placement == CMG0 {
+		cmg0Frac = 1
+	}
+	if cmg0Frac > 0 && m.NUMANodes > 1 {
+		// Concentrated traffic is served by a single NUMA domain's
+		// controllers; remote requests add ~20% effective capacity through
+		// the on-chip ring but no more.
+		oneNode := m.MemBWPerNUMA() * 1.2
+		s0 := math.Min(stream, oneNode)
+		r0 := math.Min(random, m.RandomBWNode()/float64(m.NUMANodes)*1.2)
+		stream = 1 / (cmg0Frac/s0 + (1-cmg0Frac)/stream)
+		random = 1 / (cmg0Frac/r0 + (1-cmg0Frac)/random)
+	}
+	return stream, random
+}
+
+// NodeTime predicts the runtime in seconds of app on machine m with p
+// threads under exec. The model is a roofline with an Amdahl serial term,
+// frequency droop, math-library costs, NUMA placement, and barrier
+// overhead.
+func NodeTime(m machine.Machine, app AppProfile, exec ExecParams, p int) float64 {
+	if p < 1 {
+		panic("perfmodel: thread count must be >= 1")
+	}
+	if p > m.Cores {
+		p = m.Cores
+	}
+	clockHz := m.ClockAt(p) * 1e9
+
+	computeCycles := app.Flops * (1 - app.ChainFrac) * exec.CyclesPerFlop
+	computeCycles += app.Flops * app.ChainFrac * chainFactor(m)
+	for fn, count := range app.MathCalls {
+		cost, ok := exec.MathCost[fn]
+		if !ok {
+			cost = 40 // conservative serial-call default
+		}
+		computeCycles += count * cost
+	}
+	serial := app.SerialFrac * computeCycles / clockHz
+	parallel := (1 - app.SerialFrac) * computeCycles / (float64(p) * clockHz)
+
+	streamBW, randomBW := effectiveBW(m, p, exec.Placement, app.TouchChurn)
+	// Strided traffic moves whole cache lines; scale by line size vs 64 B.
+	strided := app.StridedBytes * float64(m.CacheLineB) / 64
+	memSec := (app.StreamBytes+strided)/(streamBW*1e9) + app.RandomBytes/(randomBW*1e9)
+
+	barrier := exec.BarrierCycles
+	if barrier == 0 {
+		barrier = 5000
+	}
+	syncSec := 0.0
+	if p > 1 {
+		syncSec = app.Barriers * barrier * math.Log2(float64(p)) / clockHz
+	}
+
+	// Compute and memory overlap imperfectly; take the max (roofline) and
+	// add the non-overlappable serial and sync terms.
+	return serial + math.Max(parallel, memSec) + syncSec
+}
+
+// ScalingCurve returns runtimes for each thread count in threads.
+func ScalingCurve(m machine.Machine, app AppProfile, exec ExecParams, threads []int) []float64 {
+	out := make([]float64, len(threads))
+	for i, p := range threads {
+		out[i] = NodeTime(m, app, exec, p)
+	}
+	return out
+}

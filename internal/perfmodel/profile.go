@@ -1,0 +1,149 @@
+package perfmodel
+
+import "ookami/internal/machine"
+
+// Cost is the latency/occupancy pair of an instruction class on a machine.
+// Latency is cycles from issue to result availability; Occupancy is the
+// number of cycles the pipe is held (1 = fully pipelined; the A64FX FSQRT's
+// 134 means the FP pipe blocks for 134 cycles — the paper's Figure 2 story).
+type Cost struct {
+	Latency   int
+	Occupancy int
+}
+
+// Profile is the microarchitectural description the scheduler executes
+// against. The A64FX numbers follow the public A64FX Microarchitecture
+// Manual; the x86 numbers follow the usual public instruction tables.
+type Profile struct {
+	Name       string
+	ClockGHz   float64 // clock used when converting cycles to seconds
+	FPPipes    int
+	LoadPipes  int
+	StorePipes int
+	IntPipes   int
+	IssueWidth int // total instructions issued per cycle
+	Window     int // reorder-window size (in-flight instruction cap)
+	Costs      map[Op]Cost
+}
+
+// CostOf returns the cost of op, falling back to a generic single-cycle
+// pipelined cost for unlisted classes.
+func (p *Profile) CostOf(op Op) Cost {
+	if c, ok := p.Costs[op]; ok {
+		return c
+	}
+	return Cost{Latency: 1, Occupancy: 1}
+}
+
+func (p *Profile) pipes(k pipeKind) int {
+	switch k {
+	case pipeFP:
+		return p.FPPipes
+	case pipeLoad:
+		return p.LoadPipes
+	case pipeStore:
+		return p.StorePipes
+	default:
+		return p.IntPipes
+	}
+}
+
+// A64FXProfile models one A64FX core: two 512-bit FP pipes with 9-cycle
+// FMA latency, a 96-entry effective reorder window (the A64FX commit stack is 128
+// entries but reservation-station capacity limits in-flight FP work; small
+// relative to its long FP latencies, which is why dependence chains hurt it
+// more than Skylake), two load ports, blocking FDIV/FSQRT, and
+// 1-element-per-cycle gathers with the 128-byte pairing fast path.
+var A64FXProfile = Profile{
+	Name:       machine.A64FX.Name,
+	ClockGHz:   1.8,
+	FPPipes:    2,
+	LoadPipes:  2,
+	StorePipes: 1,
+	IntPipes:   2,
+	IssueWidth: 4,
+	Window:     96,
+	Costs: map[Op]Cost{
+		FMA:      {9, 1},
+		FMUL:     {9, 1},
+		FADD:     {9, 1},
+		FCMP:     {4, 1},
+		FSEL:     {4, 1},
+		FCVT:     {9, 1},
+		FMOV:     {4, 1},
+		FEXPA:    {4, 1},
+		FRECPE:   {4, 1},
+		FRSQRTE:  {4, 1},
+		FDIV:     {98, 98},
+		FSQRT:    {134, 134}, // the paper's blocking 512-bit FSQRT
+		FSCALAR:  {9, 1},
+		LOAD:     {8, 1},
+		STORE:    {1, 1},
+		PSTORE:   {1, 2},  // predicated stores cost an extra slot on A64FX
+		GATHER:   {12, 8}, // one element per cycle
+		GATHERW:  {10, 6}, // 128-byte-window pairs combined (bank conflicts remain)
+		SCATTER:  {1, 8},  // no pairing for scatters (paper, Sec. III)
+		SCATTERW: {1, 7},  // short scatter keeps pairs within one 256 B line
+		INT:      {1, 1},
+		PRED:     {2, 1},
+		BRANCH:   {1, 1},
+	},
+}
+
+// SkylakeProfile models one Skylake-SP core with two 512-bit FMA units
+// (Gold 6140 / Platinum 8160): 4-cycle FMA, large reorder window, fast
+// divide/sqrt relative to A64FX, and a microcoded gather at ~8 cycles per
+// 8-element vector regardless of index locality (no 128-byte pairing —
+// and its cache line is 64 B, the paper's explanation for the short-scatter
+// contrast).
+var SkylakeProfile = Profile{
+	Name:       machine.SkylakeGold6140.Name,
+	ClockGHz:   3.7, // single-core boost; all-core contexts override
+	FPPipes:    2,
+	LoadPipes:  2,
+	StorePipes: 1,
+	IntPipes:   4,
+	IssueWidth: 4,
+	Window:     224,
+	Costs: map[Op]Cost{
+		FMA:      {4, 1},
+		FMUL:     {4, 1},
+		FADD:     {4, 1},
+		FCMP:     {3, 1},
+		FSEL:     {1, 1},
+		FCVT:     {4, 1},
+		FMOV:     {1, 1},
+		FEXPA:    {4, 1}, // unused on x86; present for completeness
+		FRECPE:   {4, 1}, // vrcp14pd
+		FRSQRTE:  {4, 1}, // vrsqrt14pd
+		FDIV:     {23, 16},
+		FSQRT:    {31, 14},
+		FSCALAR:  {4, 1},
+		LOAD:     {5, 1},
+		STORE:    {1, 1},
+		PSTORE:   {1, 1},
+		GATHER:   {18, 8},
+		GATHERW:  {18, 8}, // no special window path on x86
+		SCATTER:  {1, 8},
+		SCATTERW: {1, 8}, // 64 B lines: short-scatter locality does not help
+		INT:      {1, 1},
+		PRED:     {1, 1},
+		BRANCH:   {1, 1},
+	},
+}
+
+// ProfileFor returns the scheduling profile for a machine name, and whether
+// one exists. Only the two machines of the single-core studies need
+// instruction-level profiles; the cluster-level comparisons use the
+// roofline model instead.
+func ProfileFor(name string) (*Profile, bool) {
+	switch name {
+	case machine.A64FX.Name:
+		p := A64FXProfile
+		return &p, true
+	case machine.SkylakeGold6140.Name, machine.SkylakeGold6130.Name, machine.StampedeSKX.Name:
+		p := SkylakeProfile
+		return &p, true
+	}
+	return nil, false
+}

@@ -1,0 +1,158 @@
+package perfmodel
+
+// The windowed out-of-order scheduler. It executes N copies of a loop body
+// against a Profile, modelling:
+//
+//   - issue width (instructions per cycle, all pipes combined),
+//   - per-kind pipe counts, with FDIV/FSQRT restricted to FP pipe 0
+//     (as on A64FX's FLA and Skylake's port 0),
+//   - pipe occupancy (a 134-cycle blocking FSQRT holds its pipe),
+//   - result latency and true data dependences, including loop-carried ones,
+//   - a finite reorder window: only Window instructions may be in flight,
+//     entering in program order — the small A64FX window is why Horner
+//     chains hurt it more than Skylake and why unrolling pays (Sec. IV).
+//
+// The model is deliberately simple — no renaming limits, perfect branch
+// prediction, all loads hit L1 (the paper sizes the loop suite to L1) —
+// but every cycles-per-element number in Figures 1-2 and the Section IV
+// table is produced by this simulation.
+
+type schedInstr struct {
+	op     Op
+	deps   []int // global indices
+	issued bool
+	done   int // cycle result available; -1 = not issued
+}
+
+// Schedule simulates iters iterations of body and returns the total cycles
+// until the last instruction's result is available.
+func (p *Profile) Schedule(body Body, iters int) int {
+	if len(body) == 0 || iters == 0 {
+		return 0
+	}
+	if !body.Validate() {
+		panic("perfmodel: invalid body")
+	}
+	n := len(body)
+	total := n * iters
+	// Materialize global instruction list lazily in a ring covering the
+	// window plus lookahead; for simplicity build it fully (bounded use).
+	instrs := make([]schedInstr, total)
+	for k := 0; k < iters; k++ {
+		off := k * n
+		for i, ins := range body {
+			si := schedInstr{op: ins.Op, done: -1}
+			for _, d := range ins.Deps {
+				si.deps = append(si.deps, off+d)
+			}
+			if k > 0 {
+				for _, c := range ins.Carried {
+					si.deps = append(si.deps, off-n+c)
+				}
+			}
+			instrs[off+i] = si
+		}
+	}
+
+	// Pipe slots: busyUntil per slot per kind.
+	busy := map[pipeKind][]int{
+		pipeFP:    make([]int, p.FPPipes),
+		pipeLoad:  make([]int, p.LoadPipes),
+		pipeStore: make([]int, p.StorePipes),
+		pipeInt:   make([]int, p.IntPipes),
+	}
+
+	head := 0 // oldest in-flight instruction
+	tail := 0 // next instruction to enter the window
+	cycle := 0
+	const maxCycles = 1 << 26
+	for head < total && cycle < maxCycles {
+		// Retire completed instructions in order.
+		for head < total && instrs[head].issued && instrs[head].done <= cycle {
+			head++
+		}
+		// Admit new instructions while the window has room.
+		for tail < total && tail-head < p.Window {
+			tail++
+		}
+		// Issue ready instructions oldest-first up to the issue width.
+		issued := 0
+		for gi := head; gi < tail && issued < p.IssueWidth; gi++ {
+			ins := &instrs[gi]
+			if ins.issued {
+				continue
+			}
+			ready := true
+			for _, d := range ins.deps {
+				dep := &instrs[d]
+				if !dep.issued || dep.done > cycle {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			kind := ins.op.pipe()
+			slots := busy[kind]
+			slot := -1
+			if ins.op == FDIV || ins.op == FSQRT {
+				// Non-pipelined units live on pipe 0 only.
+				if len(slots) > 0 && slots[0] <= cycle {
+					slot = 0
+				}
+			} else {
+				for s := range slots {
+					if s == 0 && kind == pipeFP && slots[0] > cycle {
+						continue // pipe 0 blocked by a divider op
+					}
+					if slots[s] <= cycle {
+						slot = s
+						break
+					}
+				}
+			}
+			if slot < 0 {
+				continue
+			}
+			c := p.CostOf(ins.op)
+			slots[slot] = cycle + c.Occupancy
+			ins.issued = true
+			ins.done = cycle + c.Latency
+			issued++
+		}
+		cycle++
+	}
+	// Completion time = max done.
+	last := 0
+	for i := range instrs {
+		if instrs[i].done > last {
+			last = instrs[i].done
+		}
+	}
+	return last
+}
+
+// CyclesPerIter returns the steady-state cycles per loop iteration,
+// measured by differencing two long runs to cancel fill/drain effects.
+func (p *Profile) CyclesPerIter(body Body) float64 {
+	const k = 64
+	t1 := p.Schedule(body, k)
+	t2 := p.Schedule(body, 2*k)
+	return float64(t2-t1) / float64(k)
+}
+
+// CyclesPerElement is CyclesPerIter divided by the number of elements one
+// iteration processes (vector lanes x unroll factor).
+func (p *Profile) CyclesPerElement(body Body, elemsPerIter int) float64 {
+	if elemsPerIter <= 0 {
+		panic("perfmodel: elemsPerIter must be positive")
+	}
+	return p.CyclesPerIter(body) / float64(elemsPerIter)
+}
+
+// SecondsFor converts a cycles-per-element figure into runtime for n
+// elements at the profile's clock.
+func (p *Profile) SecondsFor(cyclesPerElem float64, n int) float64 {
+	return cyclesPerElem * float64(n) / (p.ClockGHz * 1e9)
+}

@@ -1,0 +1,188 @@
+package perfmodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scheduler introspection: the same simulation as Schedule, but returning
+// the full issue trace and a utilization summary — the tool for
+// understanding *why* a kernel costs what it costs (which pipe saturates,
+// how much of the window is dependence-stalled).
+
+// IssueEvent records one instruction's passage through the model.
+type IssueEvent struct {
+	Iter  int // iteration index
+	Index int // instruction index within the body
+	Op    Op
+	Issue int // cycle issued
+	Done  int // cycle result available
+}
+
+// Utilization summarizes a scheduled run.
+type Utilization struct {
+	Cycles       int
+	Instructions int
+	// PipeBusy counts busy pipe-cycles per pipe kind (FP, load, store, int).
+	FPBusy, LoadBusy, StoreBusy, IntBusy int
+	// IPC is instructions per cycle over the run.
+	IPC float64
+}
+
+// ScheduleTrace simulates iters iterations of body and returns the issue
+// trace plus utilization. Semantics are identical to Schedule (same
+// algorithm, instrumented).
+func (p *Profile) ScheduleTrace(body Body, iters int) ([]IssueEvent, Utilization) {
+	if len(body) == 0 || iters == 0 {
+		return nil, Utilization{}
+	}
+	if !body.Validate() {
+		panic("perfmodel: invalid body")
+	}
+	n := len(body)
+	total := n * iters
+	instrs := make([]schedInstr, total)
+	for k := 0; k < iters; k++ {
+		off := k * n
+		for i, ins := range body {
+			si := schedInstr{op: ins.Op, done: -1}
+			for _, d := range ins.Deps {
+				si.deps = append(si.deps, off+d)
+			}
+			if k > 0 {
+				for _, c := range ins.Carried {
+					si.deps = append(si.deps, off-n+c)
+				}
+			}
+			instrs[off+i] = si
+		}
+	}
+	busy := map[pipeKind][]int{
+		pipeFP:    make([]int, p.FPPipes),
+		pipeLoad:  make([]int, p.LoadPipes),
+		pipeStore: make([]int, p.StorePipes),
+		pipeInt:   make([]int, p.IntPipes),
+	}
+	events := make([]IssueEvent, total)
+	var util Utilization
+
+	head, tail, cycle := 0, 0, 0
+	const maxCycles = 1 << 26
+	for head < total && cycle < maxCycles {
+		for head < total && instrs[head].issued && instrs[head].done <= cycle {
+			head++
+		}
+		for tail < total && tail-head < p.Window {
+			tail++
+		}
+		issued := 0
+		for gi := head; gi < tail && issued < p.IssueWidth; gi++ {
+			ins := &instrs[gi]
+			if ins.issued {
+				continue
+			}
+			ready := true
+			for _, d := range ins.deps {
+				dep := &instrs[d]
+				if !dep.issued || dep.done > cycle {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			kind := ins.op.pipe()
+			slots := busy[kind]
+			slot := -1
+			if ins.op == FDIV || ins.op == FSQRT {
+				if len(slots) > 0 && slots[0] <= cycle {
+					slot = 0
+				}
+			} else {
+				for s := range slots {
+					if s == 0 && kind == pipeFP && slots[0] > cycle {
+						continue
+					}
+					if slots[s] <= cycle {
+						slot = s
+						break
+					}
+				}
+			}
+			if slot < 0 {
+				continue
+			}
+			c := p.CostOf(ins.op)
+			slots[slot] = cycle + c.Occupancy
+			ins.issued = true
+			ins.done = cycle + c.Latency
+			events[gi] = IssueEvent{
+				Iter: gi / n, Index: gi % n, Op: ins.op,
+				Issue: cycle, Done: ins.done,
+			}
+			switch kind {
+			case pipeFP:
+				util.FPBusy += c.Occupancy
+			case pipeLoad:
+				util.LoadBusy += c.Occupancy
+			case pipeStore:
+				util.StoreBusy += c.Occupancy
+			default:
+				util.IntBusy += c.Occupancy
+			}
+			issued++
+		}
+		cycle++
+	}
+	last := 0
+	for i := range instrs {
+		if instrs[i].done > last {
+			last = instrs[i].done
+		}
+	}
+	util.Cycles = last
+	util.Instructions = total
+	if last > 0 {
+		util.IPC = float64(total) / float64(last)
+	}
+	return events, util
+}
+
+// Explain renders a human-readable cost breakdown of a body on this
+// profile: steady-state cycles/iteration, pipe utilizations, and the
+// critical few instructions with the latest completion times.
+func (p *Profile) Explain(body Body, elemsPerIter int) string {
+	const iters = 64
+	events, util := p.ScheduleTrace(body, iters)
+	var b strings.Builder
+	cpi := p.CyclesPerIter(body)
+	fmt.Fprintf(&b, "body: %d instructions (%d FP), window %d, issue %d\n",
+		len(body), body.CountFP(), p.Window, p.IssueWidth)
+	fmt.Fprintf(&b, "steady state: %.2f cycles/iter", cpi)
+	if elemsPerIter > 0 {
+		fmt.Fprintf(&b, " = %.2f cycles/element", cpi/float64(elemsPerIter))
+	}
+	b.WriteByte('\n')
+	denomFP := float64(util.Cycles * p.FPPipes)
+	denomLd := float64(util.Cycles * p.LoadPipes)
+	denomSt := float64(util.Cycles * p.StorePipes)
+	denomInt := float64(util.Cycles * p.IntPipes)
+	fmt.Fprintf(&b, "pipe utilization: FP %.0f%%  load %.0f%%  store %.0f%%  int %.0f%%  (IPC %.2f)\n",
+		100*float64(util.FPBusy)/denomFP, 100*float64(util.LoadBusy)/denomLd,
+		100*float64(util.StoreBusy)/denomSt, 100*float64(util.IntBusy)/denomInt, util.IPC)
+	// Identify the longest-latency instruction chain endpoint in a steady
+	// mid-run iteration.
+	mid := iters / 2
+	latest, latestIdx := -1, -1
+	for _, e := range events {
+		if e.Iter == mid && e.Done > latest {
+			latest = e.Done
+			latestIdx = e.Index
+		}
+	}
+	if latestIdx >= 0 {
+		fmt.Fprintf(&b, "critical endpoint: instruction %d (%s)\n", latestIdx, body[latestIdx].Op)
+	}
+	return b.String()
+}

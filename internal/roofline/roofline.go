@@ -1,0 +1,115 @@
+// Package roofline implements roofline analysis over the machine
+// descriptions: attainable performance as a function of arithmetic
+// intensity, application operating points from the workload
+// characterizations, and an ASCII rendering. It formalizes the mental
+// model behind the paper's Figure 4 discussion ("A64FX performs well in
+// memory-bound applications while Skylake wins out in compute-bound
+// applications ... attributed to higher memory bandwidth").
+package roofline
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ookami/internal/machine"
+	"ookami/internal/perfmodel"
+)
+
+// Point is one application's operating point.
+type Point struct {
+	Name      string
+	Intensity float64 // flops per byte of memory traffic
+	GFLOPS    float64 // attainable on the roof at this intensity
+	Bound     string  // "memory" or "compute"
+}
+
+// Attainable returns the rooflined GFLOP/s of machine m at arithmetic
+// intensity ai (flops/byte), at full node.
+func Attainable(m machine.Machine, ai float64) float64 {
+	return math.Min(m.PeakGFLOPSNode(), ai*m.MemBWNode)
+}
+
+// Ridge returns the machine's ridge point: the intensity where the memory
+// and compute roofs meet.
+func Ridge(m machine.Machine) float64 { return m.MachineIntensity() }
+
+// Place positions an application (by its perfmodel characterization) on
+// machine m's roofline.
+func Place(m machine.Machine, app perfmodel.AppProfile) Point {
+	bytes := app.StreamBytes + app.RandomBytes +
+		app.StridedBytes*float64(m.CacheLineB)/64
+	if bytes == 0 {
+		bytes = 1
+	}
+	ai := app.Flops / bytes
+	p := Point{Name: app.Name, Intensity: ai, GFLOPS: Attainable(m, ai)}
+	if ai < Ridge(m) {
+		p.Bound = "memory"
+	} else {
+		p.Bound = "compute"
+	}
+	return p
+}
+
+// Render draws an ASCII log-log roofline for machine m with the given
+// operating points marked. Width/height are character-cell dimensions.
+func Render(m machine.Machine, points []Point, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	// Axes: intensity 2^-4 .. 2^8 flops/byte; GFLOPS 2^3 .. peak*2.
+	loAI, hiAI := -4.0, 8.0
+	loG := 3.0
+	hiG := math.Log2(m.PeakGFLOPSNode()) + 1
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(ai, g float64, ch byte) {
+		x := int((ai - loAI) / (hiAI - loAI) * float64(width-1))
+		y := int((g - loG) / (hiG - loG) * float64(height-1))
+		if x < 0 || x >= width || y < 0 || y >= height {
+			return
+		}
+		grid[height-1-y][x] = ch
+	}
+	// The roof.
+	for c := 0; c < width; c++ {
+		ai := loAI + (hiAI-loAI)*float64(c)/float64(width-1)
+		g := math.Log2(Attainable(m, math.Exp2(ai)))
+		plot(ai, g, '-')
+	}
+	// Ridge marker.
+	plot(math.Log2(Ridge(m)), math.Log2(m.PeakGFLOPSNode()), '+')
+	// Application points (on the roof at their intensity).
+	for i, p := range points {
+		plot(math.Log2(p.Intensity), math.Log2(p.GFLOPS), byte('1'+i%9))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s roofline: peak %.0f GF/s, stream %.0f GB/s, ridge %.2f flop/byte\n",
+		m.Name, m.PeakGFLOPSNode(), m.MemBWNode, Ridge(m))
+	for _, row := range grid {
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	for i, p := range points {
+		fmt.Fprintf(&b, "  %d: %-12s ai=%.3f flop/byte  attainable %.0f GF/s (%s-bound)\n",
+			1+i%9, p.Name, p.Intensity, p.GFLOPS, p.Bound)
+	}
+	return b.String()
+}
+
+// Compare reports, for an application, which of two machines offers the
+// higher attainable rate — the Figure 4 predictor.
+func Compare(a, b machine.Machine, app perfmodel.AppProfile) (winner string, ratio float64) {
+	ga := Place(a, app).GFLOPS
+	gb := Place(b, app).GFLOPS
+	if ga >= gb {
+		return a.Name, ga / gb
+	}
+	return b.Name, gb / ga
+}

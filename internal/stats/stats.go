@@ -1,0 +1,162 @@
+// Package stats provides the small statistical and series utilities used by
+// the benchmark harnesses: summary statistics, relative-runtime series, and
+// text/CSV rendering of the tables and figures the paper reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual summary statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes summary statistics for xs. It returns a zero Summary
+// for an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }
+
+// Stddev returns the sample standard deviation of xs.
+func Stddev(xs []float64) float64 { return Summarize(xs).Stddev }
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// non-positive values make the result NaN.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Median returns the median of xs (average of the two central values for
+// even-length samples).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	n := len(ys)
+	if n%2 == 1 {
+		return ys[n/2]
+	}
+	return 0.5 * (ys[n/2-1] + ys[n/2])
+}
+
+// Relative divides every element of xs by base, producing the
+// "runtime relative to reference" series used throughout the paper.
+// It panics if base is zero.
+func Relative(xs []float64, base float64) []float64 {
+	if base == 0 {
+		panic("stats: zero base in Relative")
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out
+}
+
+// Speedup returns base/x for every x: >1 means faster than the base.
+func Speedup(xs []float64, base float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = base / x
+	}
+	return out
+}
+
+// Efficiency converts a runtime series t(p) indexed by thread counts into
+// parallel efficiency t(1)/(p*t(p)). threads and times must be equal length
+// and the first entry is taken as the single-thread reference.
+func Efficiency(threads []int, times []float64) []float64 {
+	if len(threads) != len(times) {
+		panic("stats: threads/times length mismatch")
+	}
+	if len(times) == 0 {
+		return nil
+	}
+	t1 := times[0] * float64(threads[0])
+	out := make([]float64, len(times))
+	for i := range times {
+		out[i] = t1 / (float64(threads[i]) * times[i])
+	}
+	return out
+}
+
+// WithinFactor reports whether got is within factor f (>=1) of want, i.e.
+// want/f <= got <= want*f. It is the assertion the figure shape-tests use.
+func WithinFactor(got, want, f float64) bool {
+	if f < 1 {
+		f = 1 / f
+	}
+	if want == 0 {
+		return got == 0
+	}
+	lo, hi := want/f, want*f
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return got >= lo && got <= hi
+}
+
+// Format3 renders a float with three significant digits, the precision used
+// in the rendered tables.
+func Format3(x float64) string {
+	ax := math.Abs(x)
+	switch {
+	case x == 0:
+		return "0"
+	case ax >= 100:
+		return fmt.Sprintf("%.0f", x)
+	case ax >= 10:
+		return fmt.Sprintf("%.1f", x)
+	case ax >= 1:
+		return fmt.Sprintf("%.2f", x)
+	case ax >= 0.001:
+		return fmt.Sprintf("%.3g", x)
+	default:
+		return fmt.Sprintf("%.2e", x)
+	}
+}

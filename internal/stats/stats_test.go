@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if !almost(s.Mean, 2.5, 1e-12) {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	// sample stddev of 1..4 is sqrt(5/3)
+	if !almost(s.Stddev, math.Sqrt(5.0/3.0), 1e-12) {
+		t.Errorf("stddev = %v", s.Stddev)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Stddev != 0 {
+		t.Errorf("single summary %+v", s)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); !almost(g, 2, 1e-12) {
+		t.Errorf("geomean = %v", g)
+	}
+	if g := GeoMean([]float64{2, -1}); !math.IsNaN(g) {
+		t.Errorf("geomean of negative should be NaN, got %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("geomean of empty = %v", g)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %v", m)
+	}
+	if m := Median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+	// Median must not mutate its argument.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("median mutated input: %v", xs)
+	}
+}
+
+func TestRelativeAndSpeedup(t *testing.T) {
+	r := Relative([]float64{2, 4, 8}, 2)
+	if r[0] != 1 || r[1] != 2 || r[2] != 4 {
+		t.Errorf("relative = %v", r)
+	}
+	s := Speedup([]float64{2, 1}, 4)
+	if s[0] != 2 || s[1] != 4 {
+		t.Errorf("speedup = %v", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Relative with zero base should panic")
+		}
+	}()
+	Relative([]float64{1}, 0)
+}
+
+func TestEfficiency(t *testing.T) {
+	// Perfect scaling: t(p) = t1/p -> efficiency 1 everywhere.
+	th := []int{1, 2, 4}
+	eff := Efficiency(th, []float64{8, 4, 2})
+	for i, e := range eff {
+		if !almost(e, 1, 1e-12) {
+			t.Errorf("eff[%d] = %v", i, e)
+		}
+	}
+	// No scaling: t(p) = t1 -> efficiency 1/p.
+	eff = Efficiency(th, []float64{8, 8, 8})
+	want := []float64{1, 0.5, 0.25}
+	for i := range eff {
+		if !almost(eff[i], want[i], 1e-12) {
+			t.Errorf("flat eff[%d] = %v want %v", i, eff[i], want[i])
+		}
+	}
+}
+
+func TestEfficiencyMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	Efficiency([]int{1, 2}, []float64{1})
+}
+
+func TestWithinFactor(t *testing.T) {
+	cases := []struct {
+		got, want, f float64
+		ok           bool
+	}{
+		{2.0, 2.0, 1.0, true},
+		{2.9, 2.0, 1.5, true},
+		{3.1, 2.0, 1.5, false},
+		{1.4, 2.0, 1.5, true},
+		{1.2, 2.0, 1.5, false},
+		{2.0, 2.0, 0.5, true}, // factor < 1 is inverted
+		{0, 0, 2, true},
+		{1, 0, 2, false},
+	}
+	for _, c := range cases {
+		if got := WithinFactor(c.got, c.want, c.f); got != c.ok {
+			t.Errorf("WithinFactor(%v,%v,%v) = %v want %v", c.got, c.want, c.f, got, c.ok)
+		}
+	}
+}
+
+func TestWithinFactorSymmetryProperty(t *testing.T) {
+	// Property: WithinFactor(a, b, f) == WithinFactor(b, a, f) for positive a,b.
+	f := func(a, b float64) bool {
+		a = math.Abs(a) + 0.001
+		b = math.Abs(b) + 0.001
+		return WithinFactor(a, b, 3) == WithinFactor(b, a, 3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanBoundsProperty(t *testing.T) {
+	// Property: min <= mean <= max, and geomean <= mean for positive samples.
+	f := func(xs []float64) bool {
+		pos := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if v := math.Abs(x); v > 1e-6 && v < 1e6 {
+				pos = append(pos, v)
+			}
+		}
+		if len(pos) == 0 {
+			return true
+		}
+		s := Summarize(pos)
+		g := GeoMean(pos)
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && g <= s.Mean*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "a", "b")
+	tb.AddNumericRow("row1", 1.2345, 1234.5)
+	tb.AddRow("row2", "x")
+	s := tb.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "row1") {
+		t.Errorf("ascii table missing content:\n%s", s)
+	}
+	if !strings.Contains(s, "1.23") {
+		t.Errorf("expected 3-sig-digit 1.23 in:\n%s", s)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "name,a,b\n") {
+		t.Errorf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "row2,x,\n") {
+		t.Errorf("csv should pad short rows: %q", csv)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := NewTable("", "c")
+	tb.AddRow(`has "quote", comma`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"has ""quote"", comma"`) {
+		t.Errorf("csv quoting wrong: %q", csv)
+	}
+}
+
+func TestFormat3(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234:    "1234",
+		56.78:   "56.8",
+		2.345:   "2.35",
+		0.06789: "0.0679",
+	}
+	for in, want := range cases {
+		if got := Format3(in); got != want {
+			t.Errorf("Format3(%v) = %q want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package stencil implements finite-difference stencil kernels — the
+// workload class the paper singles out as the GNU toolchain's safe
+// harbour: "unless an application computes primarily with floating-point
+// multiplication and addition (which fortunately includes most linear
+// algebra, finite-difference stencils, and FFT) ... the GNU toolchain
+// must be avoided". Stencils are pure multiply-add streams, so every
+// modeled compiler lands within codegen noise of the others — unlike the
+// math-function loops of Figure 2.
+//
+// Kernels come in scalar and SVE-emulated forms (verified equivalent)
+// plus an instruction-body builder for the performance model.
+package stencil
+
+import (
+	"ookami/internal/omp"
+	"ookami/internal/sve"
+)
+
+// Grid3 is an n^3 scalar grid with a one-cell halo, stored flat.
+type Grid3 struct {
+	N int // interior points per dimension
+	U []float64
+}
+
+// NewGrid3 allocates an n^3 grid (plus halo).
+func NewGrid3(n int) *Grid3 {
+	s := n + 2
+	return &Grid3{N: n, U: make([]float64, s*s*s)}
+}
+
+// Idx maps (i,j,k) in [-1, N] to the flat offset.
+func (g *Grid3) Idx(i, j, k int) int {
+	s := g.N + 2
+	return ((i+1)*s+(j+1))*s + (k + 1)
+}
+
+// Seven7Scalar applies one Jacobi step of the 7-point stencil
+// out = c0*u + c1*(sum of 6 face neighbours), scalar reference form.
+func Seven7Scalar(out, g *Grid3, c0, c1 float64) {
+	n := g.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				idx := g.Idx(i, j, k)
+				out.U[idx] = c0*g.U[idx] + c1*(g.U[g.Idx(i-1, j, k)]+g.U[g.Idx(i+1, j, k)]+
+					g.U[g.Idx(i, j-1, k)]+g.U[g.Idx(i, j+1, k)]+
+					g.U[g.Idx(i, j, k-1)]+g.U[g.Idx(i, j, k+1)])
+			}
+		}
+	}
+}
+
+// Seven7SVE is the vector form: unit-stride loads along k with shifted
+// neighbour vectors — the shape every compiler in the study vectorizes.
+func Seven7SVE(out, g *Grid3, c0, c1 float64) {
+	n := g.N
+	vc0 := sve.Dup(c0)
+	vc1 := sve.Dup(c1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			row := g.Idx(i, j, 0)
+			for k := 0; k < n; k += sve.VL {
+				p := sve.WhileLT(k, n)
+				c := sve.Load(g.U, row+k, p)
+				sum := sve.Add(p, sve.Load(g.U, row+k-1, p), sve.Load(g.U, row+k+1, p))
+				sum = sve.Add(p, sum, sve.Load(g.U, g.Idx(i-1, j, k), p))
+				sum = sve.Add(p, sum, sve.Load(g.U, g.Idx(i+1, j, k), p))
+				sum = sve.Add(p, sum, sve.Load(g.U, g.Idx(i, j-1, k), p))
+				sum = sve.Add(p, sum, sve.Load(g.U, g.Idx(i, j+1, k), p))
+				res := sve.Mul(p, c, vc0)
+				res = sve.Fma(p, res, sum, vc1)
+				sve.Store(out.U, row+k, p, res)
+			}
+		}
+	}
+}
+
+// Seven7Parallel runs the SVE form threaded over i-planes.
+func Seven7Parallel(team *omp.Team, out, g *Grid3, c0, c1 float64) {
+	n := g.N
+	vc0 := sve.Dup(c0)
+	vc1 := sve.Dup(c1)
+	team.ForRange(0, n, omp.Static, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				row := g.Idx(i, j, 0)
+				for k := 0; k < n; k += sve.VL {
+					p := sve.WhileLT(k, n)
+					c := sve.Load(g.U, row+k, p)
+					sum := sve.Add(p, sve.Load(g.U, row+k-1, p), sve.Load(g.U, row+k+1, p))
+					sum = sve.Add(p, sum, sve.Load(g.U, g.Idx(i-1, j, k), p))
+					sum = sve.Add(p, sum, sve.Load(g.U, g.Idx(i+1, j, k), p))
+					sum = sve.Add(p, sum, sve.Load(g.U, g.Idx(i, j-1, k), p))
+					sum = sve.Add(p, sum, sve.Load(g.U, g.Idx(i, j+1, k), p))
+					res := sve.Mul(p, c, vc0)
+					res = sve.Fma(p, res, sum, vc1)
+					sve.Store(out.U, row+k, p, res)
+				}
+			}
+		}
+	})
+}
+
+// FlopsPerPoint is the stencil's arithmetic per interior point.
+const FlopsPerPoint = 8 // 5 adds + 1 mul + 1 fma (2 flops)
+
+// BytesPerPoint is the streaming traffic per point (read + write, with
+// neighbour reuse in cache).
+const BytesPerPoint = 16

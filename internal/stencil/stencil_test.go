@@ -1,0 +1,122 @@
+package stencil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ookami/internal/omp"
+)
+
+func randomGrid(n int, seed int64) *Grid3 {
+	g := NewGrid3(n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range g.U {
+		g.U[i] = rng.NormFloat64()
+	}
+	return g
+}
+
+func TestScalarAndSVEAgree(t *testing.T) {
+	for _, n := range []int{1, 3, 8, 9, 17} {
+		g := randomGrid(n, 1)
+		a := NewGrid3(n)
+		b := NewGrid3(n)
+		Seven7Scalar(a, g, 0.4, 0.1)
+		Seven7SVE(b, g, 0.4, 0.1)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					va := a.U[a.Idx(i, j, k)]
+					vb := b.U[b.Idx(i, j, k)]
+					if math.Abs(va-vb) > 1e-15*(1+math.Abs(va)) {
+						t.Fatalf("n=%d (%d,%d,%d): %v vs %v", n, i, j, k, va, vb)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	n := 16
+	g := randomGrid(n, 2)
+	a := NewGrid3(n)
+	b := NewGrid3(n)
+	Seven7SVE(a, g, 0.4, 0.1)
+	Seven7Parallel(omp.NewTeam(5), b, g, 0.4, 0.1)
+	for i := range a.U {
+		if a.U[i] != b.U[i] {
+			t.Fatalf("parallel differs at %d", i)
+		}
+	}
+}
+
+func TestStencilSmoothsConstantField(t *testing.T) {
+	// A constant field is a fixed point when c0 + 6*c1 = 1.
+	n := 8
+	g := NewGrid3(n)
+	for i := range g.U {
+		g.U[i] = 5
+	}
+	out := NewGrid3(n)
+	Seven7Scalar(out, g, 0.4, 0.1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if v := out.U[out.Idx(i, j, k)]; math.Abs(v-5) > 1e-14 {
+					t.Fatalf("constant field moved: %v", v)
+				}
+			}
+		}
+	}
+}
+
+func TestJacobiIterationConverges(t *testing.T) {
+	// Repeated smoothing with zero halo drives the interior to zero
+	// (spectral radius < 1 for c0=0.4, c1=0.1).
+	n := 6
+	g := randomGrid(n, 3)
+	// Zero the halo.
+	s := n + 2
+	for i := 0; i < s; i++ {
+		for j := 0; j < s; j++ {
+			for k := 0; k < s; k++ {
+				if i == 0 || i == s-1 || j == 0 || j == s-1 || k == 0 || k == s-1 {
+					g.U[(i*s+j)*s+k] = 0
+				}
+			}
+		}
+	}
+	tmp := NewGrid3(n)
+	norm := func(x *Grid3) float64 {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					v := x.U[x.Idx(i, j, k)]
+					sum += v * v
+				}
+			}
+		}
+		return math.Sqrt(sum)
+	}
+	n0 := norm(g)
+	for it := 0; it < 50; it++ {
+		Seven7Scalar(tmp, g, 0.4, 0.1)
+		g, tmp = tmp, g
+	}
+	if norm(g) > n0*0.01 {
+		t.Errorf("Jacobi smoothing did not contract: %v -> %v", n0, norm(g))
+	}
+}
+
+func TestIdxHaloLayout(t *testing.T) {
+	g := NewGrid3(4)
+	if g.Idx(-1, -1, -1) != 0 {
+		t.Errorf("halo corner at %d", g.Idx(-1, -1, -1))
+	}
+	if g.Idx(4, 4, 4) != len(g.U)-1 {
+		t.Errorf("far corner at %d, len %d", g.Idx(4, 4, 4), len(g.U))
+	}
+}

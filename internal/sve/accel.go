@@ -1,0 +1,133 @@
+package sve
+
+import "math"
+
+// This file emulates the SVE "accelerator" instructions the paper's Section
+// IV analysis builds on:
+//
+//   - FEXPA: the exponential accelerator. Bit-exact emulation: the
+//     architectural 64-entry table of 2^(i/64) fractions is reproduced, and
+//     the instruction assembles sign/exponent/fraction exactly as the ISA
+//     specifies, so an exp() built on this emulation has the same numerics
+//     as one built on hardware.
+//   - FRECPE / FRSQRTE: the 8-bit reciprocal and reciprocal-square-root
+//     estimates. Emulated by quantizing the correctly rounded result to
+//     eight fraction bits (relative error <= 2^-8, the architectural
+//     guarantee). The paper's argument needs only the estimate precision —
+//     it determines how many Newton steps the Cray/Fujitsu compilers emit —
+//     not the exact table bits, so this substitution preserves behaviour.
+//   - FRECPS / FRSQRTS: the fused Newton refinement steps.
+
+// fexpaTable[j] holds the 52 fraction bits of 2^(j/64), the architectural
+// coefficient table FEXPA indexes with the low six bits of its operand.
+var fexpaTable = func() [64]uint64 {
+	var t [64]uint64
+	const fracMask = (uint64(1) << 52) - 1
+	for j := 0; j < 64; j++ {
+		bits := math.Float64bits(math.Exp2(float64(j) / 64))
+		t[j] = bits & fracMask
+	}
+	return t
+}()
+
+// FexpaScalar applies the FEXPA bit transformation to one 64-bit lane:
+// the low 6 bits select the 2^(i/64) fraction from the coefficient table and
+// bits [16:6] become the biased exponent, yielding 2^(m + i/64) when the
+// operand holds (m+1023)<<6 | i. Bits above 16 are ignored, as on hardware.
+func FexpaScalar(z uint64) float64 {
+	idx := z & 0x3F
+	exp := (z >> 6) & 0x7FF
+	return math.Float64frombits(exp<<52 | fexpaTable[idx])
+}
+
+// Fexpa applies the FEXPA transformation per active lane; inactive lanes
+// produce zero.
+func Fexpa(p Pred, z U64) F64 {
+	var v F64
+	for i := range v {
+		if p[i] {
+			v[i] = FexpaScalar(z[i])
+		}
+	}
+	return v
+}
+
+// FcvtZU converts float64 lanes to uint64 with round-toward-zero after the
+// caller has already rounded (fcvtzu). Used by the exp kernel to build the
+// FEXPA operand.
+func FcvtZU(p Pred, a F64) U64 {
+	var v U64
+	for i := range v {
+		if p[i] {
+			v[i] = uint64(int64(a[i]))
+		}
+	}
+	return v
+}
+
+// quantize8 rounds x to eight fraction bits, emulating an 8-bit-accurate
+// hardware estimate.
+func quantize8(x float64) float64 {
+	if x == 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+		return x
+	}
+	bits := math.Float64bits(x)
+	const drop = 52 - 8
+	round := uint64(1) << (drop - 1)
+	bits = (bits + round) &^ ((uint64(1) << drop) - 1)
+	return math.Float64frombits(bits)
+}
+
+// RecpeScalar is the FRECPE estimate for one lane: ~8-bit reciprocal.
+func RecpeScalar(x float64) float64 { return quantize8(1 / x) }
+
+// RsqrteScalar is the FRSQRTE estimate for one lane: ~8-bit 1/sqrt.
+func RsqrteScalar(x float64) float64 { return quantize8(1 / math.Sqrt(x)) }
+
+// Recpe is the vector FRECPE estimate under predicate p.
+func Recpe(p Pred, a F64) F64 {
+	for i := range a {
+		if p[i] {
+			a[i] = RecpeScalar(a[i])
+		}
+	}
+	return a
+}
+
+// Rsqrte is the vector FRSQRTE estimate under predicate p.
+func Rsqrte(p Pred, a F64) F64 {
+	for i := range a {
+		if p[i] {
+			a[i] = RsqrteScalar(a[i])
+		}
+	}
+	return a
+}
+
+// Recps computes the Newton reciprocal step 2 - a*b, fused (frecps).
+// Iterating x' = x * Recps(d, x) converges x -> 1/d quadratically.
+func Recps(p Pred, a, b F64) F64 {
+	var r F64
+	for i := range r {
+		if p[i] {
+			r[i] = math.FMA(-a[i], b[i], 2)
+		} else {
+			r[i] = a[i]
+		}
+	}
+	return r
+}
+
+// Rsqrts computes the Newton reciprocal-sqrt step (3 - a*b)/2, fused
+// (frsqrts). Iterating x' = x * Rsqrts(d*x, x) converges x -> 1/sqrt(d).
+func Rsqrts(p Pred, a, b F64) F64 {
+	var r F64
+	for i := range r {
+		if p[i] {
+			r[i] = math.FMA(-a[i], b[i], 3) * 0.5
+		} else {
+			r[i] = a[i]
+		}
+	}
+	return r
+}

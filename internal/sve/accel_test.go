@@ -1,0 +1,153 @@
+package sve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFexpaTableExactPowers(t *testing.T) {
+	// FEXPA with operand (m+1023)<<6 | i must produce exactly the rounded
+	// value of 2^(m + i/64).
+	for m := -10; m <= 10; m++ {
+		for i := 0; i < 64; i++ {
+			z := uint64(m+1023)<<6 | uint64(i)
+			got := FexpaScalar(z)
+			want := math.Exp2(float64(m) + float64(i)/64)
+			if got != want {
+				// The table entry is the round-to-nearest fraction of
+				// 2^(i/64); scaling by 2^m is exact, so equality is exact.
+				t.Fatalf("FEXPA(m=%d,i=%d) = %g want %g", m, i, got, want)
+			}
+		}
+	}
+}
+
+func TestFexpaIgnoresHighBits(t *testing.T) {
+	z := uint64(1023)<<6 | 5
+	if FexpaScalar(z) != FexpaScalar(z|1<<20) {
+		t.Error("FEXPA must ignore bits above 16")
+	}
+}
+
+func TestFexpaVectorPredication(t *testing.T) {
+	z := DupU(uint64(1023) << 6) // 2^0 = 1
+	v := Fexpa(WhileLT(0, 3), z)
+	if v[0] != 1 || v[2] != 1 || v[3] != 0 {
+		t.Errorf("predicated fexpa = %v", v)
+	}
+}
+
+func TestFcvtZU(t *testing.T) {
+	v := FcvtZU(PTrue(), F64{0, 1.9, 65536.5, 7, 8, 9, 10, 11})
+	if v[0] != 0 || v[1] != 1 || v[2] != 65536 {
+		t.Errorf("fcvtzu = %v", v)
+	}
+}
+
+func TestRecpeEstimatePrecision(t *testing.T) {
+	// Architectural guarantee: relative error of the estimate <= 2^-8.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		x := math.Exp(rng.Float64()*40 - 20) // logarithmic spread
+		est := RecpeScalar(x)
+		rel := math.Abs(est*x - 1)
+		if rel > 1.0/256 {
+			t.Fatalf("FRECPE(%g) rel err %g > 2^-8", x, rel)
+		}
+	}
+}
+
+func TestRsqrteEstimatePrecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 5000; i++ {
+		x := math.Exp(rng.Float64()*40 - 20)
+		est := RsqrteScalar(x)
+		rel := math.Abs(est*est*x - 1)
+		if rel > 3.0/256 { // (1+e)^2 ~ 1+2e
+			t.Fatalf("FRSQRTE(%g) rel err %g", x, rel)
+		}
+	}
+}
+
+func TestNewtonReciprocalConverges(t *testing.T) {
+	// The Cray/Fujitsu reciprocal: an 8-bit estimate needs three quadratic
+	// Newton steps to reach double precision (2^-8 -> 2^-16 -> 2^-32 -> 2^-64).
+	rng := rand.New(rand.NewSource(9))
+	p := PTrue()
+	for trial := 0; trial < 500; trial++ {
+		var d F64
+		for i := range d {
+			d[i] = math.Exp(rng.Float64()*20 - 10)
+		}
+		x := Recpe(p, d)
+		for step := 0; step < 3; step++ {
+			x = Mul(p, x, Recps(p, d, x))
+		}
+		for i := range d {
+			want := 1 / d[i]
+			if ulpDiff(x[i], want) > 2 {
+				t.Fatalf("reciprocal of %g: got %g want %g (%d ulp)",
+					d[i], x[i], want, ulpDiff(x[i], want))
+			}
+		}
+	}
+}
+
+func TestNewtonRsqrtConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	p := PTrue()
+	for trial := 0; trial < 500; trial++ {
+		var d F64
+		for i := range d {
+			d[i] = math.Exp(rng.Float64()*20 - 10)
+		}
+		x := Rsqrte(p, d)
+		for step := 0; step < 3; step++ {
+			dx := Mul(p, d, x)
+			x = Mul(p, x, Rsqrts(p, dx, x))
+		}
+		for i := range d {
+			want := 1 / math.Sqrt(d[i])
+			if ulpDiff(x[i], want) > 2 {
+				t.Fatalf("rsqrt of %g: got %g want %g (%d ulp)",
+					d[i], x[i], want, ulpDiff(x[i], want))
+			}
+		}
+	}
+}
+
+func TestRecpsRsqrtsInactiveLanes(t *testing.T) {
+	p := WhileLT(0, 1)
+	r := Recps(p, Dup(2), Dup(0.4))
+	if r[0] != 2-2*0.4 || r[1] != 2 {
+		t.Errorf("recps merge semantics: %v", r)
+	}
+	s := Rsqrts(p, Dup(2), Dup(0.5))
+	if s[0] != (3-1.0)/2 || s[1] != 2 {
+		t.Errorf("rsqrts merge semantics: %v", s)
+	}
+}
+
+func TestQuantize8SpecialValues(t *testing.T) {
+	if quantize8(0) != 0 {
+		t.Error("quantize8(0)")
+	}
+	if !math.IsInf(quantize8(math.Inf(1)), 1) {
+		t.Error("quantize8(+Inf)")
+	}
+	if !math.IsNaN(quantize8(math.NaN())) {
+		t.Error("quantize8(NaN)")
+	}
+}
+
+// ulpDiff counts the units-in-last-place separation of two floats of the
+// same sign.
+func ulpDiff(a, b float64) int64 {
+	ia, ib := int64(math.Float64bits(a)), int64(math.Float64bits(b))
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	return d
+}

@@ -1,0 +1,160 @@
+package sve
+
+import "math"
+
+// The SVE permute/reduce group: the instructions vector math libraries
+// lean on for table lookups (TBL — how SVML-style exp fetches its 2^(i/N)
+// scale on machines without FEXPA), for divergence-free compaction of
+// partially accepted lanes (COMPACT — the paper's Monte-Carlo discussion:
+// "splitting/merging vectors to avoid divergent execution paths"), and
+// for horizontal reductions.
+
+// Tbl performs a vector table lookup: out[i] = table[idx[i]] when the
+// index is in range, else 0 (the architectural out-of-range behaviour).
+func Tbl(table F64, idx U64) F64 {
+	var out F64
+	for i := range out {
+		if idx[i] < VL {
+			out[i] = table[idx[i]]
+		}
+	}
+	return out
+}
+
+// Compact packs the active elements of a to the low lanes, zeroing the
+// rest (compact z.d, p, z.d). Returns the packed vector and the number of
+// active lanes.
+func Compact(p Pred, a F64) (F64, int) {
+	var out F64
+	n := 0
+	for i := 0; i < VL; i++ {
+		if p[i] {
+			out[n] = a[i]
+			n++
+		}
+	}
+	return out, n
+}
+
+// Splice concatenates the active segment of a (first to last active lane)
+// with leading elements of b (splice z.d, p, z.d, z.d). Simplified to the
+// common case of a single contiguous active segment.
+func Splice(p Pred, a, b F64) F64 {
+	var out F64
+	n := 0
+	for i := 0; i < VL; i++ {
+		if p[i] {
+			out[n] = a[i]
+			n++
+		}
+	}
+	for i := 0; n < VL; i++ {
+		out[n] = b[i]
+		n++
+	}
+	return out
+}
+
+// MaxV returns the maximum of the active lanes (fmaxv); -Inf when no lane
+// is active.
+func MaxV(p Pred, a F64) float64 {
+	best := math.Inf(-1)
+	for i := range a {
+		if p[i] && a[i] > best {
+			best = a[i]
+		}
+	}
+	return best
+}
+
+// MinV returns the minimum of the active lanes (fminv); +Inf when no lane
+// is active.
+func MinV(p Pred, a F64) float64 {
+	best := math.Inf(1)
+	for i := range a {
+		if p[i] && a[i] < best {
+			best = a[i]
+		}
+	}
+	return best
+}
+
+// LastActive returns the value of the last active lane (lasta/lastb
+// family) and whether any lane was active.
+func LastActive(p Pred, a F64) (float64, bool) {
+	found := false
+	var v float64
+	for i := 0; i < VL; i++ {
+		if p[i] {
+			v = a[i]
+			found = true
+		}
+	}
+	return v, found
+}
+
+// ZipLo interleaves the low halves of a and b (zip1):
+// {a0 b0 a1 b1 a2 b2 a3 b3}.
+func ZipLo(a, b F64) F64 {
+	var out F64
+	for i := 0; i < VL/2; i++ {
+		out[2*i] = a[i]
+		out[2*i+1] = b[i]
+	}
+	return out
+}
+
+// ZipHi interleaves the high halves of a and b (zip2).
+func ZipHi(a, b F64) F64 {
+	var out F64
+	for i := 0; i < VL/2; i++ {
+		out[2*i] = a[VL/2+i]
+		out[2*i+1] = b[VL/2+i]
+	}
+	return out
+}
+
+// UzpEven extracts the even-indexed lanes of a:b (uzp1).
+func UzpEven(a, b F64) F64 {
+	var out F64
+	for i := 0; i < VL/2; i++ {
+		out[i] = a[2*i]
+		out[VL/2+i] = b[2*i]
+	}
+	return out
+}
+
+// UzpOdd extracts the odd-indexed lanes of a:b (uzp2).
+func UzpOdd(a, b F64) F64 {
+	var out F64
+	for i := 0; i < VL/2; i++ {
+		out[i] = a[2*i+1]
+		out[VL/2+i] = b[2*i+1]
+	}
+	return out
+}
+
+// Rev reverses the lanes of a (rev z.d).
+func Rev(a F64) F64 {
+	var out F64
+	for i := range out {
+		out[i] = a[VL-1-i]
+	}
+	return out
+}
+
+// Ext extracts a vector starting at lane `from` of a, continuing into b
+// (ext z.d, z.d, z.d, #from*8) — the shift-by-lanes primitive stencil
+// codes use.
+func Ext(a, b F64, from int) F64 {
+	var out F64
+	for i := 0; i < VL; i++ {
+		src := from + i
+		if src < VL {
+			out[i] = a[src]
+		} else {
+			out[i] = b[src-VL]
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package sve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+var seq = F64{0, 1, 2, 3, 4, 5, 6, 7}
+var seq2 = F64{10, 11, 12, 13, 14, 15, 16, 17}
+
+func TestTbl(t *testing.T) {
+	got := Tbl(seq2, U64{7, 0, 3, 3, 99, 1, 2, 5})
+	want := F64{17, 10, 13, 13, 0, 11, 12, 15}
+	if got != want {
+		t.Errorf("tbl = %v", got)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	p := Pred{false, true, false, true, true, false, false, true}
+	got, n := Compact(p, seq)
+	if n != 4 {
+		t.Fatalf("count = %d", n)
+	}
+	want := F64{1, 3, 4, 7}
+	if got != want {
+		t.Errorf("compact = %v", got)
+	}
+	if _, n := Compact(PFalse(), seq); n != 0 {
+		t.Error("empty compact")
+	}
+	if got, n := Compact(PTrue(), seq); n != VL || got != seq {
+		t.Error("full compact should be identity")
+	}
+}
+
+func TestSplice(t *testing.T) {
+	p := WhileLT(0, 3)
+	got := Splice(p, seq, seq2)
+	want := F64{0, 1, 2, 10, 11, 12, 13, 14}
+	if got != want {
+		t.Errorf("splice = %v", got)
+	}
+}
+
+func TestHorizontalMinMax(t *testing.T) {
+	x := F64{3, -1, 4, -1, 5, -9, 2, 6}
+	if MaxV(PTrue(), x) != 6 || MinV(PTrue(), x) != -9 {
+		t.Error("full reduce")
+	}
+	p := WhileLT(0, 4)
+	if MaxV(p, x) != 4 || MinV(p, x) != -1 {
+		t.Error("predicated reduce")
+	}
+	if !math.IsInf(MaxV(PFalse(), x), -1) || !math.IsInf(MinV(PFalse(), x), 1) {
+		t.Error("empty reduce identities")
+	}
+}
+
+func TestLastActive(t *testing.T) {
+	v, ok := LastActive(WhileLT(0, 5), seq)
+	if !ok || v != 4 {
+		t.Errorf("last active = %v %v", v, ok)
+	}
+	if _, ok := LastActive(PFalse(), seq); ok {
+		t.Error("empty lastactive")
+	}
+}
+
+func TestZipUzpRoundTrip(t *testing.T) {
+	lo := ZipLo(seq, seq2)
+	hi := ZipHi(seq, seq2)
+	if lo != (F64{0, 10, 1, 11, 2, 12, 3, 13}) {
+		t.Errorf("ziplo = %v", lo)
+	}
+	if hi != (F64{4, 14, 5, 15, 6, 16, 7, 17}) {
+		t.Errorf("ziphi = %v", hi)
+	}
+	// uzp(zip) restores the originals.
+	if UzpEven(lo, hi) != seq {
+		t.Errorf("uzp even = %v", UzpEven(lo, hi))
+	}
+	if UzpOdd(lo, hi) != seq2 {
+		t.Errorf("uzp odd = %v", UzpOdd(lo, hi))
+	}
+}
+
+func TestRevInvolution(t *testing.T) {
+	if Rev(Rev(seq)) != seq {
+		t.Error("rev not an involution")
+	}
+	if Rev(seq)[0] != 7 {
+		t.Error("rev wrong")
+	}
+}
+
+func TestExt(t *testing.T) {
+	if Ext(seq, seq2, 0) != seq {
+		t.Error("ext 0 should be identity")
+	}
+	got := Ext(seq, seq2, 3)
+	want := F64{3, 4, 5, 6, 7, 10, 11, 12}
+	if got != want {
+		t.Errorf("ext 3 = %v", got)
+	}
+	if Ext(seq, seq2, VL) != seq2 {
+		t.Error("ext VL should be b")
+	}
+}
+
+func TestCompactSplitMergePattern(t *testing.T) {
+	// The divergence-avoidance idiom the paper mentions: compact the
+	// accepted lanes of several vectors into dense work units, process,
+	// and verify no element is lost or duplicated.
+	rng := rand.New(rand.NewSource(5))
+	var staged []float64
+	var total int
+	for batch := 0; batch < 64; batch++ {
+		var v F64
+		var p Pred
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			p[i] = v[i] > 0
+		}
+		c, n := Compact(p, v)
+		total += n
+		staged = append(staged, c[:n]...)
+	}
+	if len(staged) != total {
+		t.Fatal("bookkeeping")
+	}
+	for _, x := range staged {
+		if x <= 0 {
+			t.Fatalf("negative value leaked through compact: %v", x)
+		}
+	}
+	// Statistically ~half the lanes accepted.
+	if total < 64*VL/3 || total > 64*VL*2/3 {
+		t.Errorf("acceptance count %d implausible", total)
+	}
+}
+
+func TestTblBasedExpScale(t *testing.T) {
+	// Demonstrate the SVML-style alternative to FEXPA: fetch 2^(i/8) from
+	// a table with TBL and verify it matches the accelerator for the
+	// indices the table covers.
+	var table F64
+	for i := 0; i < VL; i++ {
+		table[i] = math.Exp2(float64(i) / 8)
+	}
+	var idx U64
+	for i := range idx {
+		idx[i] = uint64(i)
+	}
+	got := Tbl(table, idx)
+	for i := 0; i < VL; i++ {
+		want := math.Exp2(float64(i) / 8)
+		if got[i] != want {
+			t.Errorf("tbl scale lane %d: %v want %v", i, got[i], want)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package sve is a functional software emulation of the subset of the ARM
+// Scalable Vector Extension that the paper's analysis rests on: predicated
+// arithmetic, fused multiply-add, while-loops over vector lanes,
+// gather/scatter, and the accelerator instructions FEXPA, FRECPE and
+// FRSQRTE with their Newton refinement steps.
+//
+// The emulation is bit-faithful where the paper's argument depends on bit
+// behaviour (FEXPA's 2^(i/64) table, the estimate precisions) and
+// value-faithful elsewhere. A64FX runs SVE with 512-bit registers, so the
+// vector type is fixed at eight float64 lanes; vector-length-agnostic code
+// is still expressible through WhileLT predication, exactly as on hardware.
+package sve
+
+import "math"
+
+// VL is the number of float64 lanes in a 512-bit SVE register.
+const VL = 8
+
+// F64 is a 512-bit SVE Z register viewed as eight float64 lanes.
+type F64 [VL]float64
+
+// U64 is a 512-bit SVE Z register viewed as eight uint64 lanes.
+type U64 [VL]uint64
+
+// I64 is a 512-bit SVE Z register viewed as eight int64 lanes.
+type I64 [VL]int64
+
+// Pred is an SVE predicate register: one bool per 64-bit lane.
+type Pred [VL]bool
+
+// PTrue returns the all-true predicate (ptrue p.d).
+func PTrue() Pred {
+	var p Pred
+	for i := range p {
+		p[i] = true
+	}
+	return p
+}
+
+// PFalse returns the all-false predicate.
+func PFalse() Pred { return Pred{} }
+
+// WhileLT builds the predicate for the canonical SVE vector-length-agnostic
+// loop: lane i is active iff base+i < n (whilelt p.d, base, n).
+func WhileLT(base, n int) Pred {
+	var p Pred
+	for i := range p {
+		p[i] = base+i < n
+	}
+	return p
+}
+
+// Any reports whether any lane is active (ptest).
+func (p Pred) Any() bool {
+	for _, b := range p {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of active lanes (cntp).
+func (p Pred) Count() int {
+	n := 0
+	for _, b := range p {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// And returns the lane-wise conjunction of two predicates.
+func (p Pred) And(q Pred) Pred {
+	var r Pred
+	for i := range r {
+		r[i] = p[i] && q[i]
+	}
+	return r
+}
+
+// Not returns the lane-wise negation of p.
+func (p Pred) Not() Pred {
+	var r Pred
+	for i := range r {
+		r[i] = !p[i]
+	}
+	return r
+}
+
+// Dup broadcasts a scalar to all lanes (dup z.d, #x / mov z.d, x).
+func Dup(x float64) F64 {
+	var v F64
+	for i := range v {
+		v[i] = x
+	}
+	return v
+}
+
+// DupU broadcasts a uint64 to all lanes.
+func DupU(x uint64) U64 {
+	var v U64
+	for i := range v {
+		v[i] = x
+	}
+	return v
+}
+
+// Index returns base + i*step in lane i (index z.d, base, step).
+func Index(base, step int64) I64 {
+	var v I64
+	for i := range v {
+		v[i] = base + int64(i)*step
+	}
+	return v
+}
+
+// Load reads eight contiguous float64s starting at xs[base] under predicate
+// p; inactive lanes are zero (ld1d with zeroing).
+func Load(xs []float64, base int, p Pred) F64 {
+	var v F64
+	for i := range v {
+		if p[i] {
+			v[i] = xs[base+i]
+		}
+	}
+	return v
+}
+
+// Store writes active lanes of v to xs starting at base (st1d).
+func Store(xs []float64, base int, p Pred, v F64) {
+	for i := range v {
+		if p[i] {
+			xs[base+i] = v[i]
+		}
+	}
+}
+
+// Add is lane-wise addition under predicate p; inactive lanes keep a's value
+// (fadd z.d, p/m, ...).
+func Add(p Pred, a, b F64) F64 {
+	for i := range a {
+		if p[i] {
+			a[i] += b[i]
+		}
+	}
+	return a
+}
+
+// Sub is lane-wise subtraction under predicate p.
+func Sub(p Pred, a, b F64) F64 {
+	for i := range a {
+		if p[i] {
+			a[i] -= b[i]
+		}
+	}
+	return a
+}
+
+// Mul is lane-wise multiplication under predicate p.
+func Mul(p Pred, a, b F64) F64 {
+	for i := range a {
+		if p[i] {
+			a[i] *= b[i]
+		}
+	}
+	return a
+}
+
+// Div is lane-wise division under predicate p (fdiv).
+func Div(p Pred, a, b F64) F64 {
+	for i := range a {
+		if p[i] {
+			a[i] /= b[i]
+		}
+	}
+	return a
+}
+
+// Fma returns acc + a*b per active lane, fused (fmla z.d, p/m, a, b). The
+// emulation uses math.FMA so rounding matches a hardware FMLA.
+func Fma(p Pred, acc, a, b F64) F64 {
+	for i := range acc {
+		if p[i] {
+			acc[i] = math.FMA(a[i], b[i], acc[i])
+		}
+	}
+	return acc
+}
+
+// Fms returns acc - a*b per active lane (fmls).
+func Fms(p Pred, acc, a, b F64) F64 {
+	for i := range acc {
+		if p[i] {
+			acc[i] = math.FMA(-a[i], b[i], acc[i])
+		}
+	}
+	return acc
+}
+
+// Neg negates active lanes.
+func Neg(p Pred, a F64) F64 {
+	for i := range a {
+		if p[i] {
+			a[i] = -a[i]
+		}
+	}
+	return a
+}
+
+// Abs takes the absolute value of active lanes.
+func Abs(p Pred, a F64) F64 {
+	for i := range a {
+		if p[i] {
+			a[i] = math.Abs(a[i])
+		}
+	}
+	return a
+}
+
+// Max is the lane-wise maximum under predicate p.
+func Max(p Pred, a, b F64) F64 {
+	for i := range a {
+		if p[i] && b[i] > a[i] {
+			a[i] = b[i]
+		}
+	}
+	return a
+}
+
+// Min is the lane-wise minimum under predicate p.
+func Min(p Pred, a, b F64) F64 {
+	for i := range a {
+		if p[i] && b[i] < a[i] {
+			a[i] = b[i]
+		}
+	}
+	return a
+}
+
+// Sel selects a where p is true, b elsewhere (sel z.d, p, a.d, b.d).
+func Sel(p Pred, a, b F64) F64 {
+	var r F64
+	for i := range r {
+		if p[i] {
+			r[i] = a[i]
+		} else {
+			r[i] = b[i]
+		}
+	}
+	return r
+}
+
+// CmpGT compares a > b lane-wise under governing predicate p (fcmgt).
+func CmpGT(p Pred, a, b F64) Pred {
+	var r Pred
+	for i := range r {
+		r[i] = p[i] && a[i] > b[i]
+	}
+	return r
+}
+
+// CmpGE compares a >= b lane-wise under governing predicate p.
+func CmpGE(p Pred, a, b F64) Pred {
+	var r Pred
+	for i := range r {
+		r[i] = p[i] && a[i] >= b[i]
+	}
+	return r
+}
+
+// CmpLT compares a < b lane-wise under governing predicate p.
+func CmpLT(p Pred, a, b F64) Pred {
+	var r Pred
+	for i := range r {
+		r[i] = p[i] && a[i] < b[i]
+	}
+	return r
+}
+
+// AddV is the horizontal sum of active lanes (faddv).
+func AddV(p Pred, a F64) float64 {
+	s := 0.0
+	for i := range a {
+		if p[i] {
+			s += a[i]
+		}
+	}
+	return s
+}
+
+// Sqrt is the lane-wise square root (fsqrt z.d). Functionally exact; its
+// cost on A64FX — a blocking 134-cycle latency for a 512-bit vector — is
+// captured by the performance model, and is the reason the paper's Cray and
+// Fujitsu compilers avoid this instruction in favour of Newton iteration.
+func Sqrt(p Pred, a F64) F64 {
+	for i := range a {
+		if p[i] {
+			a[i] = math.Sqrt(a[i])
+		}
+	}
+	return a
+}
+
+// Gather loads xs[idx[i]] per active lane (ld1d z.d, p/z, [x, z.d]).
+func Gather(p Pred, xs []float64, idx I64) F64 {
+	var v F64
+	for i := range v {
+		if p[i] {
+			v[i] = xs[idx[i]]
+		}
+	}
+	return v
+}
+
+// Scatter stores active lanes of v to xs[idx[i]] (st1d z.d, p, [x, z.d]).
+// When two active lanes share an index the higher lane wins, matching the
+// architectural ordering.
+func Scatter(p Pred, xs []float64, idx I64, v F64) {
+	for i := 0; i < VL; i++ {
+		if p[i] {
+			xs[idx[i]] = v[i]
+		}
+	}
+}
+
+// GatherPairs128 counts, for a gather of the given element indices, how many
+// memory requests the A64FX load unit issues: lanes are processed in
+// consecutive pairs, and a pair that falls inside one aligned 128-byte
+// window is combined into a single request (the microarchitecture manual's
+// optimization behind the paper's "short gather" result). The return value
+// is the request count, between VL/2 (all paired) and VL (none paired).
+func GatherPairs128(p Pred, idx I64) int {
+	const window = 128 / 8 // elements per 128-byte window
+	requests := 0
+	for i := 0; i+1 < VL; i += 2 {
+		a, b := p[i], p[i+1]
+		switch {
+		case a && b:
+			if idx[i]/window == idx[i+1]/window {
+				requests++ // combined
+			} else {
+				requests += 2
+			}
+		case a || b:
+			requests++
+		}
+	}
+	return requests
+}

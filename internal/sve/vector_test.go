@@ -1,0 +1,271 @@
+package sve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWhileLT(t *testing.T) {
+	p := WhileLT(0, 8)
+	if p.Count() != 8 {
+		t.Errorf("full predicate count = %d", p.Count())
+	}
+	p = WhileLT(5, 8)
+	if p.Count() != 3 || !p[0] || p[3] {
+		t.Errorf("tail predicate wrong: %v", p)
+	}
+	p = WhileLT(8, 8)
+	if p.Any() {
+		t.Errorf("empty predicate should have no active lanes: %v", p)
+	}
+}
+
+func TestPredicateOps(t *testing.T) {
+	p := WhileLT(0, 4) // lanes 0-3
+	q := WhileLT(2, 10)
+	and := p.And(q)
+	if and.Count() != 4 { // q active everywhere (2..9 covers all 8 lanes)
+		t.Errorf("and count = %d", and.Count())
+	}
+	n := p.Not()
+	if n.Count() != 4 || n[0] || !n[7] {
+		t.Errorf("not wrong: %v", n)
+	}
+	if PTrue().Count() != VL || PFalse().Any() {
+		t.Error("ptrue/pfalse wrong")
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	p := WhileLT(0, len(xs))
+	v := Load(xs, 2, PTrue())
+	if v[0] != 3 || v[7] != 10 {
+		t.Errorf("load wrong: %v", v)
+	}
+	ys := make([]float64, 8)
+	Store(ys, 0, p, v)
+	if ys[0] != 3 || ys[7] != 10 {
+		t.Errorf("store wrong: %v", ys)
+	}
+	// Partial predicate: inactive lanes untouched on store, zero on load.
+	tail := WhileLT(6, 8) // only lanes 0,1 active
+	v2 := Load(xs, 0, tail)
+	if v2[0] != 1 || v2[2] != 0 {
+		t.Errorf("predicated load wrong: %v", v2)
+	}
+	zs := []float64{-1, -1, -1, -1, -1, -1, -1, -1}
+	Store(zs, 0, tail, v2)
+	if zs[0] != 1 || zs[2] != -1 {
+		t.Errorf("predicated store wrong: %v", zs)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	p := PTrue()
+	a := Dup(3)
+	b := Dup(2)
+	if got := Add(p, a, b); got[0] != 5 {
+		t.Errorf("add = %v", got[0])
+	}
+	if got := Sub(p, a, b); got[0] != 1 {
+		t.Errorf("sub = %v", got[0])
+	}
+	if got := Mul(p, a, b); got[0] != 6 {
+		t.Errorf("mul = %v", got[0])
+	}
+	if got := Div(p, a, b); got[0] != 1.5 {
+		t.Errorf("div = %v", got[0])
+	}
+	if got := Fma(p, Dup(1), a, b); got[0] != 7 {
+		t.Errorf("fma = %v", got[0])
+	}
+	if got := Fms(p, Dup(10), a, b); got[0] != 4 {
+		t.Errorf("fms = %v", got[0])
+	}
+	if got := Neg(p, a); got[0] != -3 {
+		t.Errorf("neg = %v", got[0])
+	}
+	if got := Abs(p, Dup(-4)); got[0] != 4 {
+		t.Errorf("abs = %v", got[0])
+	}
+	if got := Max(p, a, b); got[0] != 3 {
+		t.Errorf("max = %v", got[0])
+	}
+	if got := Min(p, a, b); got[0] != 2 {
+		t.Errorf("min = %v", got[0])
+	}
+}
+
+func TestPredicatedMergeSemantics(t *testing.T) {
+	// Inactive lanes keep the destination's (first operand's) value.
+	p := WhileLT(0, 1) // only lane 0
+	a := Dup(10)
+	got := Add(p, a, Dup(5))
+	if got[0] != 15 || got[1] != 10 {
+		t.Errorf("merge semantics wrong: %v", got)
+	}
+}
+
+func TestFmaIsFused(t *testing.T) {
+	// Choose values where fused and unfused differ.
+	a, b, c := 1+math.Pow(2, -30), 1-math.Pow(2, -30), -1.0
+	fused := math.FMA(a, b, c)
+	v := Fma(PTrue(), Dup(c), Dup(a), Dup(b))
+	if v[0] != fused {
+		t.Errorf("Fma not fused: %v vs %v", v[0], fused)
+	}
+	if v[0] == a*b+c && fused != a*b+c {
+		t.Error("Fma matched the unfused product")
+	}
+}
+
+func TestSelAndCompare(t *testing.T) {
+	x := F64{-1, 2, -3, 4, -5, 6, -7, 8}
+	pos := CmpGT(PTrue(), x, Dup(0))
+	if pos.Count() != 4 {
+		t.Errorf("cmpgt count = %d", pos.Count())
+	}
+	y := Sel(pos, x, Dup(0))
+	if y[0] != 0 || y[1] != 2 || y[7] != 8 {
+		t.Errorf("sel wrong: %v", y)
+	}
+	ge := CmpGE(PTrue(), x, Dup(2))
+	if ge.Count() != 4 || !ge[1] {
+		t.Errorf("cmpge wrong: %v", ge)
+	}
+	lt := CmpLT(PTrue(), x, Dup(0))
+	if lt.Count() != 4 || !lt[0] {
+		t.Errorf("cmplt wrong: %v", lt)
+	}
+	// Governing predicate masks comparisons.
+	if got := CmpGT(PFalse(), x, Dup(0)); got.Any() {
+		t.Error("comparison under false predicate should be empty")
+	}
+}
+
+func TestHorizontalSum(t *testing.T) {
+	x := F64{1, 2, 3, 4, 5, 6, 7, 8}
+	if got := AddV(PTrue(), x); got != 36 {
+		t.Errorf("addv = %v", got)
+	}
+	if got := AddV(WhileLT(0, 2), x); got != 3 {
+		t.Errorf("predicated addv = %v", got)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	xs := []float64{10, 11, 12, 13, 14, 15, 16, 17}
+	idx := I64{7, 6, 5, 4, 3, 2, 1, 0}
+	g := Gather(PTrue(), xs, idx)
+	if g[0] != 17 || g[7] != 10 {
+		t.Errorf("gather wrong: %v", g)
+	}
+	ys := make([]float64, 8)
+	Scatter(PTrue(), ys, idx, g)
+	for i, y := range ys {
+		if y != xs[i] {
+			t.Errorf("scatter round-trip ys[%d]=%v want %v", i, y, xs[i])
+		}
+	}
+	// Conflicting indices: the higher lane wins.
+	var zs [2]float64
+	Scatter(PTrue(), zs[:], I64{0, 0, 0, 0, 0, 0, 0, 0}, F64{1, 2, 3, 4, 5, 6, 7, 8})
+	if zs[0] != 8 {
+		t.Errorf("conflicting scatter should keep lane 7: %v", zs[0])
+	}
+}
+
+func TestGatherScatterRoundTripProperty(t *testing.T) {
+	// Property: scatter then gather with a permutation restores the vector.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		perm := rng.Perm(VL)
+		var idx I64
+		var v F64
+		for i := range idx {
+			idx[i] = int64(perm[i])
+			v[i] = rng.NormFloat64()
+		}
+		buf := make([]float64, VL)
+		Scatter(PTrue(), buf, idx, v)
+		got := Gather(PTrue(), buf, idx)
+		if got != v {
+			t.Fatalf("trial %d: round-trip failed: %v vs %v", trial, got, v)
+		}
+	}
+}
+
+func TestGatherPairs128(t *testing.T) {
+	// Consecutive pairs within one 128-byte window (16 doubles) combine.
+	idx := I64{0, 1, 2, 3, 4, 5, 6, 7}
+	if got := GatherPairs128(PTrue(), idx); got != 4 {
+		t.Errorf("contiguous gather requests = %d, want 4", got)
+	}
+	// Pairs straddling windows do not combine.
+	idx = I64{0, 16, 32, 48, 64, 80, 96, 112}
+	if got := GatherPairs128(PTrue(), idx); got != 8 {
+		t.Errorf("strided gather requests = %d, want 8", got)
+	}
+	// Mixed case: pairs (0,1), (5,5), (100,101) combine; (0,16) straddles.
+	idx = I64{0, 1, 0, 16, 5, 5, 100, 101}
+	if got := GatherPairs128(PTrue(), idx); got != 5 {
+		t.Errorf("mixed gather requests = %d, want 5", got)
+	}
+	// Predication: a half-active pair costs one request.
+	if got := GatherPairs128(WhileLT(0, 1), I64{0, 99, 0, 0, 0, 0, 0, 0}); got != 1 {
+		t.Errorf("predicated gather requests = %d, want 1", got)
+	}
+	if got := GatherPairs128(PFalse(), idx); got != 0 {
+		t.Errorf("inactive gather requests = %d, want 0", got)
+	}
+}
+
+func TestIndexAndDup(t *testing.T) {
+	v := Index(10, 3)
+	if v[0] != 10 || v[7] != 31 {
+		t.Errorf("index wrong: %v", v)
+	}
+	u := DupU(0xDEAD)
+	if u[3] != 0xDEAD {
+		t.Errorf("dupu wrong: %v", u)
+	}
+}
+
+func TestSqrtLanewise(t *testing.T) {
+	v := Sqrt(PTrue(), F64{4, 9, 16, 25, 36, 49, 64, 81})
+	want := F64{2, 3, 4, 5, 6, 7, 8, 9}
+	if v != want {
+		t.Errorf("sqrt = %v", v)
+	}
+	// Predicated: inactive lanes unchanged.
+	v = Sqrt(WhileLT(0, 1), F64{4, 4, 4, 4, 4, 4, 4, 4})
+	if v[0] != 2 || v[1] != 4 {
+		t.Errorf("predicated sqrt = %v", v)
+	}
+}
+
+func TestVectorScalarEquivalenceProperty(t *testing.T) {
+	// Property: vector ops agree with lane-wise scalar computation.
+	f := func(a, b [VL]float64) bool {
+		va, vb := F64(a), F64(b)
+		add := Add(PTrue(), va, vb)
+		mul := Mul(PTrue(), va, vb)
+		fma := Fma(PTrue(), Dup(1), va, vb)
+		for i := 0; i < VL; i++ {
+			if !eqNaN(add[i], a[i]+b[i]) || !eqNaN(mul[i], a[i]*b[i]) || !eqNaN(fma[i], math.FMA(a[i], b[i], 1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func eqNaN(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}

@@ -1,0 +1,385 @@
+package toolchain
+
+import pm "ookami/internal/perfmodel"
+
+// The instruction bodies the modeled compilers emit for each loop. Index
+// comments give the dataflow; Deps are indices into the same body.
+
+// simpleBody: y[i] = 2x + 3x^2 contracted as y = x*(3x+2).
+func simpleBody() pm.Body {
+	return pm.Body{
+		ins(pm.LOAD),       // 0: x
+		ins(pm.FMA, 0),     // 1: t = 3x + 2
+		ins(pm.FMUL, 0, 1), // 2: y = x*t
+		ins(pm.STORE, 2),   // 3
+	}
+}
+
+// predicateBody: if (x>0) y = x — a compare and a masked store.
+func predicateBody() pm.Body {
+	return pm.Body{
+		ins(pm.LOAD),         // 0: x
+		ins(pm.FCMP, 0),      // 1: p = x > 0
+		ins(pm.PSTORE, 0, 1), // 2
+	}
+}
+
+// gatherBody: y[i] = x[index[i]]; windowed selects the A64FX 128-byte
+// pairing fast path (short-gather workload).
+func gatherBody(windowed bool) pm.Body {
+	g := pm.GATHER
+	if windowed {
+		g = pm.GATHERW
+	}
+	return pm.Body{
+		ins(pm.LOAD),     // 0: index vector
+		ins(g, 0),        // 1: gathered values
+		ins(pm.STORE, 1), // 2
+	}
+}
+
+// scatterBody: y[index[i]] = x[i].
+func scatterBody(windowed bool) pm.Body {
+	s := pm.SCATTER
+	if windowed {
+		s = pm.SCATTERW
+	}
+	return pm.Body{
+		ins(pm.LOAD), // 0: index vector
+		ins(pm.LOAD), // 1: x
+		ins(s, 0, 1), // 2
+	}
+}
+
+// stencilBody: the 7-point Jacobi step — pure multiply-add streaming, the
+// workload class where every toolchain (GNU included) is competitive.
+// Compilers keep the k-1/k+1 and plane neighbours in registers or L1, so
+// ~4 distinct loads reach the pipes per vector.
+func stencilBody() pm.Body {
+	return pm.Body{
+		ins(pm.LOAD),       // 0: center
+		ins(pm.LOAD),       // 1: j/k neighbours (register-reused pair)
+		ins(pm.LOAD),       // 2: i-1 plane
+		ins(pm.LOAD),       // 3: i+1 plane
+		ins(pm.FADD, 1, 2), // 4: tree reduction of the neighbour sums
+		ins(pm.FADD, 0, 3), // 5
+		ins(pm.FADD, 4, 5), // 6
+		ins(pm.FMUL, 0),    // 7: c0*u
+		ins(pm.FMA, 7, 6),  // 8: + c1*sum
+		ins(pm.STORE, 8),   // 9
+	}
+}
+
+// recipNewtonBody: FRECPE + 3 fused Newton steps (the Cray/Fujitsu/Intel
+// lowering of 1/x).
+func recipNewtonBody() pm.Body {
+	return pm.Body{
+		ins(pm.LOAD),       // 0: d
+		ins(pm.FRECPE, 0),  // 1: x0
+		ins(pm.FMA, 0, 1),  // 2: recps(d,x0)
+		ins(pm.FMUL, 1, 2), // 3: x1
+		ins(pm.FMA, 0, 3),  // 4
+		ins(pm.FMUL, 3, 4), // 5: x2
+		ins(pm.FMA, 0, 5),  // 6
+		ins(pm.FMUL, 5, 6), // 7: x3
+		ins(pm.STORE, 7),   // 8
+	}
+}
+
+// recipDivBody: the blocking FDIV lowering (GNU, ARM 20).
+func recipDivBody() pm.Body {
+	return pm.Body{
+		ins(pm.LOAD),     // 0
+		ins(pm.FDIV, 0),  // 1
+		ins(pm.STORE, 1), // 2
+	}
+}
+
+// sqrtNewtonBody: FRSQRTE + 3 Newton steps + final multiply/correction.
+func sqrtNewtonBody() pm.Body {
+	return pm.Body{
+		ins(pm.LOAD),        // 0: d
+		ins(pm.FRSQRTE, 0),  // 1: x0
+		ins(pm.FMUL, 0, 1),  // 2: d*x0
+		ins(pm.FMA, 2, 1),   // 3: rsqrts
+		ins(pm.FMUL, 1, 3),  // 4: x1
+		ins(pm.FMUL, 0, 4),  // 5
+		ins(pm.FMA, 5, 4),   // 6
+		ins(pm.FMUL, 4, 6),  // 7: x2
+		ins(pm.FMUL, 0, 7),  // 8
+		ins(pm.FMA, 8, 7),   // 9
+		ins(pm.FMUL, 7, 9),  // 10: x3
+		ins(pm.FMUL, 0, 10), // 11: s = d*x3
+		ins(pm.FMA, 11, 10), // 12: 1-ulp correction
+		ins(pm.STORE, 12),   // 13
+	}
+}
+
+// sqrtBlockingBody: the FSQRT instruction (GNU/ARM 21): bit-exact, blocking.
+func sqrtBlockingBody() pm.Body {
+	return pm.Body{
+		ins(pm.LOAD),     // 0
+		ins(pm.FSQRT, 0), // 1
+		ins(pm.STORE, 1), // 2
+	}
+}
+
+// expBody builds the exponential kernel for a library tier.
+func expBody(tier MathTier) pm.Body {
+	switch tier {
+	case TierFEXPA:
+		// Section IV's kernel: FEXPA reduction + 5-term Horner.
+		return ExpFexpaKernel(Horner)
+	case TierSVML:
+		// Intel's x86 kernel: no FEXPA; permute-based 2^k, a deeper
+		// polynomial than the FEXPA kernel (classical |r| < ln2/2 range)
+		// plus extra-precision fixups for its 1-ulp accuracy guarantee.
+		// On Skylake's 4-cycle FMA and 224-entry window this lands at the
+		// paper's ~1.6 cycles/element.
+		b := pm.Body{
+			ins(pm.LOAD),      // 0: x
+			ins(pm.FMA, 0),    // 1: z (shift trick)
+			ins(pm.FCVT, 1),   // 2: k bits
+			ins(pm.FMOV, 2),   // 3: table permute for 2^(i/32)
+			ins(pm.FADD, 1),   // 4: n
+			ins(pm.FMA, 0, 4), // 5: r hi
+			ins(pm.FMA, 5, 4), // 6: r lo
+		}
+		p := 6 // rolling dep on the Horner chain
+		for k := 0; k < 10; k++ {
+			b = append(b, ins(pm.FMA, p, 6))
+			p = len(b) - 1
+		}
+		for k := 0; k < 4; k++ { // extra-precision correction chain
+			b = append(b, ins(pm.FADD, len(b)-1))
+		}
+		b = append(b,
+			ins(pm.FMUL, 3, len(b)-1),      // scale*poly
+			ins(pm.FCMP, 0),                // range check
+			ins(pm.FSEL, len(b), len(b)+1), // clamp
+		)
+		b = append(b, ins(pm.STORE, len(b)-1))
+		return b
+	case TierPorted:
+		return portedExpBody(13, 0)
+	default: // TierPortedSlow
+		// Extra special-case layers and uncontracted operations.
+		return portedExpBody(13, 5)
+	}
+}
+
+// ExpFexpaKernel is the Section IV loop body, exported because the
+// exponential study (experiment E3) schedules it directly in its three
+// loop structures. It has 15 floating-point-pipe instructions, matching
+// the paper's count.
+func ExpFexpaKernel(form PolyShape) pm.Body {
+	b := pm.Body{
+		ins(pm.LOAD),      // 0: x
+		ins(pm.FMA, 0),    // 1: z = x*(64/ln2) + shift
+		ins(pm.FCVT, 1),   // 2: FEXPA operand
+		ins(pm.FEXPA, 2),  // 3: scale = 2^(m+i/64)
+		ins(pm.FADD, 1),   // 4: n = z - shift
+		ins(pm.FMA, 0, 4), // 5: r = x - n*hi
+		ins(pm.FMA, 5, 4), // 6: r -= n*lo
+	}
+	var poly int
+	if form == Estrin {
+		b = append(b,
+			ins(pm.FMA, 6),       // 7: p01 = c0 + r*c1
+			ins(pm.FMA, 6),       // 8: p23 = c2 + r*c3
+			ins(pm.FMUL, 6, 6),   // 9: r2
+			ins(pm.FMA, 7, 8, 9), // 10: p0123
+			ins(pm.FMUL, 9, 9),   // 11: r4
+			ins(pm.FMA, 10, 11),  // 12: p += r4*(c4 + r c5) (folded)
+		)
+		poly = 12
+	} else {
+		p := 6
+		for k := 0; k < 5; k++ { // 5-term Horner chain
+			b = append(b, ins(pm.FMA, p, 6))
+			p = len(b) - 1
+		}
+		poly = p
+	}
+	b = append(b, ins(pm.FMUL, 3, poly)) // scale * poly
+	res := len(b) - 1
+	b = append(b,
+		ins(pm.FCMP, 0),          // overflow mask
+		ins(pm.FSEL, res, res+1), // clamp
+	)
+	b = append(b, ins(pm.STORE, len(b)-1))
+	return b
+}
+
+// PolyShape selects Horner or Estrin for the modeled kernel (mirrors
+// vmath.PolyForm; redeclared to keep the packages independent).
+type PolyShape int
+
+const (
+	Horner PolyShape = iota
+	Estrin
+)
+
+// portedExpBody: the classical |r| < log2/2 reduction with a deep Horner
+// polynomial — no FEXPA, a three-part Cody–Waite reduction, and `extra`
+// additional chained special-case operations for the slower tiers.
+func portedExpBody(terms, extra int) pm.Body {
+	b := pm.Body{
+		ins(pm.LOAD),      // 0: x
+		ins(pm.FMA, 0),    // 1: z
+		ins(pm.FADD, 1),   // 2: n
+		ins(pm.FMA, 0, 2), // 3: r hi
+		ins(pm.FMA, 3, 2), // 4: r mid
+		ins(pm.FMA, 4, 2), // 5: r lo
+	}
+	p := 5
+	for k := 0; k < terms; k++ {
+		b = append(b, ins(pm.FMA, p, 5))
+		p = len(b) - 1
+	}
+	b = append(b, ins(pm.FCVT, 2)) // 2^m exponent construction
+	scale := len(b) - 1
+	b = append(b, ins(pm.FMUL, p, scale))
+	p = len(b) - 1
+	for k := 0; k < extra; k++ { // uncontracted fixups, chained
+		b = append(b, ins(pm.FADD, p))
+		p = len(b) - 1
+	}
+	b = append(b, ins(pm.FCMP, 0), ins(pm.FSEL, p, p+1))
+	b = append(b, ins(pm.STORE, len(b)-1))
+	return b
+}
+
+// sinBody: quadrant reduction + two polynomials + select.
+func sinBody(tier MathTier) pm.Body {
+	// Polynomial depth by tier: Fujitsu's A64FX-tuned kernel uses
+	// Estrin-style evaluation (shallow chains for the 9-cycle FMA); the
+	// others evaluate the classical fdlibm polynomials with plain Horner —
+	// cheap on Skylake's 4-cycle FMA, costly on A64FX.
+	sinTerms, cosTerms, chained := 3, 3, false
+	switch tier {
+	case TierSVML, TierPorted:
+		sinTerms, cosTerms, chained = 6, 6, true
+	case TierPortedSlow:
+		sinTerms, cosTerms, chained = 7, 7, true
+	}
+	b := pm.Body{
+		ins(pm.LOAD),       // 0: x
+		ins(pm.FMA, 0),     // 1: z = x*2/pi + shift
+		ins(pm.FADD, 1),    // 2: n
+		ins(pm.FMA, 0, 2),  // 3: r hi
+		ins(pm.FMA, 3, 2),  // 4: r
+		ins(pm.FMUL, 4, 4), // 5: r2
+	}
+	// sin polynomial.
+	p := 5
+	for k := 0; k < sinTerms; k++ {
+		if chained {
+			b = append(b, ins(pm.FMA, p, 5))
+		} else {
+			b = append(b, ins(pm.FMA, 5)) // Estrin pairs: depth ~log
+		}
+		p = len(b) - 1
+	}
+	b = append(b, ins(pm.FMUL, 4, p)) // r * P(r2)
+	sinIdx := len(b) - 1
+	// cos polynomial.
+	p = 5
+	for k := 0; k < cosTerms; k++ {
+		if chained {
+			b = append(b, ins(pm.FMA, p, 5))
+		} else {
+			b = append(b, ins(pm.FMA, 5))
+		}
+		p = len(b) - 1
+	}
+	cosIdx := len(b) - 1
+	b = append(b,
+		ins(pm.FCVT, 2),              // quadrant bits
+		ins(pm.FCMP, len(b)),         // quadrant predicate
+		ins(pm.FSEL, sinIdx, cosIdx), // select sin/cos
+	)
+	selIdx := len(b) - 1
+	b = append(b, ins(pm.FSEL, selIdx), ins(pm.STORE, len(b)))
+	return b
+}
+
+// powBody: pow = 2^(y*log2 x): a log kernel feeding an exp2 kernel.
+func powBody(tier MathTier) pm.Body {
+	b := pm.Body{
+		ins(pm.LOAD),    // 0: x
+		ins(pm.LOAD),    // 1: y
+		ins(pm.FCVT, 0), // 2: exponent/mantissa split
+		ins(pm.FADD, 2), // 3: m-1
+		ins(pm.FADD, 2), // 4: m+1
+	}
+	// Reciprocal of (m+1): Newton (tuned tiers) or blocking divide
+	// (the slow ported tier — the 10x pow of Figure 2).
+	var inv int
+	if tier == TierPortedSlow {
+		b = append(b, ins(pm.FDIV, 3, 4))
+		inv = len(b) - 1
+	} else {
+		b = append(b,
+			ins(pm.FRECPE, 4),
+			ins(pm.FMA, 4, 5),
+			ins(pm.FMUL, 5, 6),
+			ins(pm.FMA, 4, 7),
+			ins(pm.FMUL, 7, 8),
+			ins(pm.FMUL, 3, 9), // s = (m-1)*inv(m+1)
+		)
+		inv = len(b) - 1
+	}
+	b = append(b, ins(pm.FMUL, inv, inv)) // s2
+	s2 := len(b) - 1
+	// Polynomial depths and shapes by tier: Fujitsu evaluates shallow
+	// Estrin trees; SVML buys its accuracy with a long extra-precision
+	// chain (cheap on Skylake); the ported tiers use plain Horner.
+	logTerms, expTerms, extraPrec, chained := 6, 5, 0, false
+	switch tier {
+	case TierSVML:
+		logTerms, expTerms, extraPrec, chained = 12, 8, 4, true
+	case TierPorted:
+		logTerms, expTerms, chained = 7, 6, true
+	case TierPortedSlow:
+		logTerms, expTerms, chained = 7, 6, true
+	}
+	p := s2
+	for k := 0; k < logTerms; k++ {
+		if chained {
+			b = append(b, ins(pm.FMA, p, s2))
+		} else {
+			b = append(b, ins(pm.FMA, s2))
+		}
+		p = len(b) - 1
+	}
+	b = append(b, ins(pm.FMA, inv, p, 2)) // log2x = k + s*poly
+	logIdx := len(b) - 1
+	b = append(b, ins(pm.FMUL, 1, logIdx)) // t = y*log2x
+	t := len(b) - 1
+	// exp2 stage.
+	b = append(b,
+		ins(pm.FMA, t),    // z
+		ins(pm.FCVT, t+1), // scale bits (FEXPA operand / permute)
+		ins(pm.FEXPA, t+2),
+		ins(pm.FADD, t+1),   // n
+		ins(pm.FMA, t, t+4), // r
+	)
+	r := len(b) - 1
+	p = r
+	for k := 0; k < expTerms; k++ {
+		if chained {
+			b = append(b, ins(pm.FMA, p, r))
+		} else {
+			b = append(b, ins(pm.FMA, r))
+		}
+		p = len(b) - 1
+	}
+	for k := 0; k < extraPrec; k++ { // SVML's extra-precision corrections
+		b = append(b, ins(pm.FADD, len(b)-1))
+	}
+	b = append(b, ins(pm.FMUL, t+3, len(b)-1)) // scale*poly
+	b = append(b, ins(pm.FCMP, t), ins(pm.FSEL, len(b)-1, len(b)))
+	b = append(b, ins(pm.STORE, len(b)-1))
+	return b
+}

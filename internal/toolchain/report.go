@@ -1,0 +1,59 @@
+package toolchain
+
+import "fmt"
+
+// Vectorization reports: the paper's Table I flags explicitly request
+// them (-Koptmsg=2, -Rpass=loop-vectorize, -fopt-info-vec,
+// -qopt-report=5), and Section III's analysis reads them ("the GNU
+// compiler did not vectorize exp, sin, and pow"; "both the GNU and AMD
+// compilers report fully vectorizing the reciprocal and square root loops
+// even though the performance could be very far from anticipated").
+// Report reproduces those messages from the compilation decisions.
+
+// Report returns the optimization messages the modeled compiler would
+// print for this compiled loop.
+func (c CompiledLoop) Report() []string {
+	var msgs []string
+	if !c.Vectorized {
+		fn, _ := c.Loop.MathFn()
+		msgs = append(msgs,
+			fmt.Sprintf("loop not vectorized: no vectorized implementation of %s available", fn),
+			fmt.Sprintf("note: call to %s is serialized (scalar libm, ~%.0f cycles/call)",
+				fn, c.SerialCyclesPerElem))
+		return msgs
+	}
+	msgs = append(msgs, fmt.Sprintf("loop vectorized (%d elements/iteration)", c.ElemsPerIter))
+	tc, ok := ByName(c.Toolchain)
+	if ok && tc.Unroll > 1 {
+		msgs = append(msgs, fmt.Sprintf("loop unrolled %dx", tc.Unroll))
+	}
+	// The misleading success stories the paper calls out: the loop is
+	// "fully vectorized" yet uses a blocking instruction.
+	for _, ins := range c.Body {
+		switch ins.Op.String() {
+		case "FSQRT":
+			msgs = append(msgs, "note: using FSQRT instruction (blocking on A64FX: 134 cycles/vector)")
+		case "FDIV":
+			msgs = append(msgs, "note: using FDIV instruction (blocking on A64FX)")
+		case "FEXPA":
+			msgs = append(msgs, "note: using FEXPA-accelerated polynomial kernel")
+		case "FRSQRTE":
+			msgs = append(msgs, "note: using FRSQRTE estimate + Newton iteration")
+		case "FRECPE":
+			msgs = append(msgs, "note: using FRECPE estimate + Newton iteration")
+		}
+	}
+	return dedup(msgs)
+}
+
+func dedup(in []string) []string {
+	seen := map[string]bool{}
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

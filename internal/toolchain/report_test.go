@@ -1,0 +1,71 @@
+package toolchain
+
+import (
+	"strings"
+	"testing"
+
+	"ookami/internal/machine"
+)
+
+func joined(msgs []string) string { return strings.Join(msgs, "\n") }
+
+func TestReportGNUMathLoopNotVectorized(t *testing.T) {
+	r := joined(GNU.Compile(LoopExp, machine.A64FX).Report())
+	if !strings.Contains(r, "not vectorized") || !strings.Contains(r, "exp") {
+		t.Errorf("GNU exp report: %q", r)
+	}
+	if !strings.Contains(r, "32 cycles") {
+		t.Errorf("report should quote the serial cost: %q", r)
+	}
+}
+
+func TestReportMisleadingVectorizationStory(t *testing.T) {
+	// "Both the GNU and AMD compilers report fully vectorizing the
+	// reciprocal and square root loops even though the performance could
+	// be very far from anticipated."
+	sqrtGNU := joined(GNU.Compile(LoopSqrt, machine.A64FX).Report())
+	if !strings.Contains(sqrtGNU, "vectorized") {
+		t.Errorf("GNU sqrt must report vectorized: %q", sqrtGNU)
+	}
+	if !strings.Contains(sqrtGNU, "FSQRT") || !strings.Contains(sqrtGNU, "blocking") {
+		t.Errorf("GNU sqrt report should flag the blocking instruction: %q", sqrtGNU)
+	}
+	recipGNU := joined(GNU.Compile(LoopRecip, machine.A64FX).Report())
+	if !strings.Contains(recipGNU, "FDIV") {
+		t.Errorf("GNU recip report should mention FDIV: %q", recipGNU)
+	}
+}
+
+func TestReportFujitsuHighlights(t *testing.T) {
+	exp := joined(Fujitsu.Compile(LoopExp, machine.A64FX).Report())
+	if !strings.Contains(exp, "FEXPA") {
+		t.Errorf("Fujitsu exp report: %q", exp)
+	}
+	if !strings.Contains(exp, "unrolled 4x") {
+		t.Errorf("Fujitsu unroll report: %q", exp)
+	}
+	sqrt := joined(Fujitsu.Compile(LoopSqrt, machine.A64FX).Report())
+	if !strings.Contains(sqrt, "FRSQRTE") || !strings.Contains(sqrt, "Newton") {
+		t.Errorf("Fujitsu sqrt report: %q", sqrt)
+	}
+}
+
+func TestReportSimpleLoopClean(t *testing.T) {
+	r := Arm.Compile(LoopSimple, machine.A64FX).Report()
+	if len(r) == 0 || !strings.Contains(r[0], "vectorized (8 elements") {
+		t.Errorf("ARM simple report: %v", r)
+	}
+	for _, m := range r {
+		if strings.Contains(m, "blocking") {
+			t.Errorf("simple loop should have no blocking note: %v", r)
+		}
+	}
+}
+
+func TestReportDedup(t *testing.T) {
+	in := []string{"a", "b", "a", "c", "b"}
+	out := dedup(in)
+	if len(out) != 3 || out[0] != "a" || out[1] != "b" || out[2] != "c" {
+		t.Errorf("dedup = %v", out)
+	}
+}

@@ -1,0 +1,144 @@
+// Package toolchain models the five compilers of the paper's Table I:
+// Fujitsu, Cray (CPE), ARM, GNU and Intel. A toolchain decides, per loop,
+//
+//   - whether the loop vectorizes at all (GNU has no vector math library on
+//     ARM+SVE, so exp/sin/pow loops stay serial — the paper's central
+//     warning);
+//   - which algorithm the math library uses (FEXPA-accelerated kernels vs.
+//     generic ported ones; Newton-iteration sqrt/reciprocal vs. the
+//     blocking FSQRT/FDIV instructions);
+//   - loop style: vector-length-agnostic (whilelt each iteration) or
+//     fixed-width with a predicated tail, and the unroll factor;
+//   - the OpenMP data-placement default (Fujitsu: everything on CMG 0).
+//
+// Compile produces an annotated instruction body that the perfmodel
+// scheduler executes; every Figures 1-2 number derives from these bodies.
+package toolchain
+
+import (
+	"fmt"
+
+	"ookami/internal/machine"
+	"ookami/internal/perfmodel"
+)
+
+// Style is the loop control structure a compiler emits.
+type Style int
+
+const (
+	// VLA is the vector-length-agnostic structure: whilelt + ptest every
+	// iteration (ARM, GNU).
+	VLA Style = iota
+	// Fixed is the fixed-register-width structure with a predicated tail
+	// (Fujitsu, Cray, Intel): cheaper loop control.
+	Fixed
+)
+
+// MathTier is the quality level of a toolchain's vector math library.
+type MathTier int
+
+const (
+	// TierFEXPA: Fujitsu's library, built around the SVE accelerator
+	// instructions with A64FX-tuned scheduling.
+	TierFEXPA MathTier = iota
+	// TierPorted: a competent generic vector library ported from other
+	// platforms (Cray): classical reductions, deeper polynomials, no FEXPA.
+	TierPorted
+	// TierPortedSlow: a ported library with additional unoptimized layers
+	// (ARM 21 / Sleef-based components): deeper chains, more special-case
+	// handling, and poor instruction choices for sqrt and pow.
+	TierPortedSlow
+	// TierSVML: Intel's mature x86 short-vector math library.
+	TierSVML
+	// TierSerial: no vector math library at all — scalar libm calls
+	// (GNU on ARM+SVE).
+	TierSerial
+)
+
+// Toolchain is one compiler + math library + OpenMP runtime combination.
+type Toolchain struct {
+	Name    string
+	Version string
+	Flags   string // the paper's Table I flags, for documentation
+	// ForISA restricts the toolchain to machines of this ISA
+	// (Intel compiles only for AVX512 in this study).
+	ForISA machine.ISA
+	Style  Style
+	Unroll int // vector-loop unroll factor
+	Math   MathTier
+	// NewtonSqrt / NewtonRecip: use estimate+Newton instead of the blocking
+	// FSQRT / FDIV instructions.
+	NewtonSqrt  bool
+	NewtonRecip bool
+	// Placement is the OpenMP data placement default (Sec. V: Fujitsu
+	// allocates on CMG 0 unless told otherwise).
+	Placement perfmodel.Placement
+}
+
+// The five toolchains of Table I.
+var (
+	Fujitsu = Toolchain{
+		Name: "Fujitsu", Version: "1.0.20",
+		Flags:  "-Kfast -KSVE -Koptmsg=2",
+		ForISA: machine.SVE, Style: Fixed, Unroll: 4,
+		Math: TierFEXPA, NewtonSqrt: true, NewtonRecip: true,
+		Placement: perfmodel.CMG0,
+	}
+	Cray = Toolchain{
+		Name: "Cray", Version: "10.0.2",
+		Flags:  "-O3 -h aggress,flex_mp=tolerant,msgs,negmsgs,vector3,omp",
+		ForISA: machine.SVE, Style: Fixed, Unroll: 2,
+		Math: TierPorted, NewtonSqrt: true, NewtonRecip: true,
+		Placement: perfmodel.FirstTouch,
+	}
+	Arm = Toolchain{
+		Name: "ARM", Version: "21",
+		Flags:  "-std=c++17 -Ofast -ffp-contract=fast -ffast-math -march=armv8.2-a+sve -mcpu=a64fx -armpl -fopenmp",
+		ForISA: machine.SVE, Style: VLA, Unroll: 1,
+		Math: TierPortedSlow, NewtonSqrt: false, NewtonRecip: true,
+		Placement: perfmodel.FirstTouch,
+	}
+	GNU = Toolchain{
+		Name: "GNU", Version: "11.1.0",
+		Flags:  "-Ofast -ffast-math -mtune=a64fx -mcpu=a64fx -march=armv8.2-a+sve -fopenmp",
+		ForISA: machine.SVE, Style: VLA, Unroll: 1,
+		Math: TierSerial, NewtonSqrt: false, NewtonRecip: false,
+		Placement: perfmodel.FirstTouch,
+	}
+	Intel = Toolchain{
+		Name: "Intel", Version: "19.1.2.254",
+		Flags:  "-xHOST -O3 -ipo -no-prec-div -fp-model fast=2 -mkl=sequential -qopenmp",
+		ForISA: machine.AVX512, Style: Fixed, Unroll: 4,
+		// Skylake's FSQRT is fast enough that icc emits it directly; the
+		// -no-prec-div flag selects the rcp14+Newton reciprocal.
+		Math: TierSVML, NewtonSqrt: false, NewtonRecip: true,
+		Placement: perfmodel.FirstTouch,
+	}
+)
+
+// OnA64FX lists the four toolchains deployed on Ookami's A64FX nodes.
+var OnA64FX = []Toolchain{Fujitsu, Cray, Arm, GNU}
+
+// All lists every modeled toolchain.
+var All = []Toolchain{Fujitsu, Cray, Arm, GNU, Intel}
+
+// ByName looks a toolchain up by name.
+func ByName(name string) (Toolchain, bool) {
+	for _, tc := range All {
+		if tc.Name == name {
+			return tc, true
+		}
+	}
+	return Toolchain{}, false
+}
+
+// Supports reports whether the toolchain targets machine m.
+func (tc Toolchain) Supports(m machine.Machine) bool {
+	if tc.ForISA == machine.AVX512 {
+		return m.ISA == machine.AVX512
+	}
+	return m.ISA == tc.ForISA
+}
+
+// String renders "Name version".
+func (tc Toolchain) String() string { return fmt.Sprintf("%s %s", tc.Name, tc.Version) }

@@ -1,0 +1,140 @@
+package vmath
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// The paper closes its math-library section with: "a complete evaluation
+// of math library performance must include accuracy, which will be the
+// topic of another paper." This file is that evaluation for the kernels
+// implemented here: a harness that sweeps an implementation against a
+// reference over a range and reports the ULP error distribution.
+
+// AccuracyReport summarizes the ULP error distribution of one function
+// implementation over a sampled domain.
+type AccuracyReport struct {
+	Name    string
+	Samples int
+	MaxUlp  float64
+	MeanUlp float64
+	P99Ulp  float64
+	// CorrectlyRounded is the fraction of samples within 0.5 ulp
+	// (identical to the correctly rounded reference).
+	CorrectlyRounded float64
+	// WorstInput is an input that attains MaxUlp.
+	WorstInput float64
+}
+
+// String renders the report as one line.
+func (r AccuracyReport) String() string {
+	return fmt.Sprintf("%-24s n=%-7d max=%.2f ulp  mean=%.3f  p99=%.2f  exact=%.1f%%  worst at %.9g",
+		r.Name, r.Samples, r.MaxUlp, r.MeanUlp, r.P99Ulp, 100*r.CorrectlyRounded, r.WorstInput)
+}
+
+// VecFn is a slice-oriented unary function under test.
+type VecFn func(dst, src []float64)
+
+// MeasureAccuracy sweeps fn against ref over [lo, hi] with n evenly
+// spaced points plus the exact endpoints, returning the error
+// distribution. The reference is evaluated per element with the scalar
+// routine, assumed correctly rounded.
+func MeasureAccuracy(name string, fn VecFn, ref func(float64) float64, lo, hi float64, n int) AccuracyReport {
+	if n < 2 {
+		n = 2
+	}
+	xs := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range xs {
+		xs[i] = lo + float64(i)*step
+	}
+	xs[n-1] = hi
+	got := make([]float64, n)
+	fn(got, xs)
+	ulps := make([]float64, n)
+	rep := AccuracyReport{Name: name, Samples: n}
+	sum := 0.0
+	exact := 0
+	for i := range xs {
+		u := UlpDiff(got[i], ref(xs[i]))
+		ulps[i] = u
+		sum += u
+		if u <= 0.5 {
+			exact++
+		}
+		if u > rep.MaxUlp {
+			rep.MaxUlp = u
+			rep.WorstInput = xs[i]
+		}
+	}
+	rep.MeanUlp = sum / float64(n)
+	rep.CorrectlyRounded = float64(exact) / float64(n)
+	sort.Float64s(ulps)
+	rep.P99Ulp = ulps[int(float64(n)*0.99)]
+	return rep
+}
+
+// UlpHistogram buckets the ULP errors of fn vs ref over [lo, hi]:
+// buckets are [0, 0.5], (0.5, 1], (1, 2], (2, 4], (4, 8], (8, +inf).
+func UlpHistogram(fn VecFn, ref func(float64) float64, lo, hi float64, n int) [6]int {
+	xs := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range xs {
+		xs[i] = lo + float64(i)*step
+	}
+	got := make([]float64, n)
+	fn(got, xs)
+	var h [6]int
+	for i := range xs {
+		u := UlpDiff(got[i], ref(xs[i]))
+		switch {
+		case u <= 0.5:
+			h[0]++
+		case u <= 1:
+			h[1]++
+		case u <= 2:
+			h[2]++
+		case u <= 4:
+			h[3]++
+		case u <= 8:
+			h[4]++
+		default:
+			h[5]++
+		}
+	}
+	return h
+}
+
+// StandardAccuracySuite measures every vector kernel in this package
+// against Go's libm over its natural domain — the library's accuracy
+// datasheet.
+func StandardAccuracySuite(samples int) []AccuracyReport {
+	wrapRecip := func(dst, src []float64) { RecipNewton(dst, src) }
+	wrapSqrt := func(dst, src []float64) { SqrtNewton(dst, src) }
+	expH := func(dst, src []float64) { Exp(dst, src, Horner) }
+	expE := func(dst, src []float64) { Exp(dst, src, Estrin) }
+	return []AccuracyReport{
+		MeasureAccuracy("exp (FEXPA, Horner)", expH, math.Exp, -700, 700, samples),
+		MeasureAccuracy("exp (FEXPA, Estrin)", expE, math.Exp, -700, 700, samples),
+		MeasureAccuracy("exp (ported generic)", ExpPortedGeneric, math.Exp, -700, 700, samples),
+		MeasureAccuracy("sin", Sin, math.Sin, -50, 50, samples),
+		MeasureAccuracy("cos", Cos, math.Cos, -50, 50, samples),
+		MeasureAccuracy("log", Log, math.Log, 1e-300, 1e300, samples),
+		MeasureAccuracy("log2", Log2, math.Log2, 1e-300, 1e300, samples),
+		MeasureAccuracy("exp2", Exp2, math.Exp2, -1000, 1000, samples),
+		MeasureAccuracy("recip (Newton)", wrapRecip, func(x float64) float64 { return 1 / x }, 0.001, 1e6, samples),
+		MeasureAccuracy("sqrt (Newton)", wrapSqrt, math.Sqrt, 0.001, 1e6, samples),
+	}
+}
+
+// RenderAccuracySuite formats the datasheet as text.
+func RenderAccuracySuite(reports []AccuracyReport) string {
+	var b strings.Builder
+	b.WriteString("vector math library accuracy (vs correctly rounded libm):\n")
+	for _, r := range reports {
+		b.WriteString("  " + r.String() + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package vmath
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets: run as ordinary tests over the seed corpus under
+// `go test`, and as real fuzzers under `go test -fuzz`.
+
+func FuzzExpFEXPA(f *testing.F) {
+	for _, seed := range []float64{0, 1, -1, 0.5, 709, -708, 1e-300, 3.14159, -687.123} {
+		f.Add(seed)
+	}
+	dst := make([]float64, 1)
+	f.Fuzz(func(t *testing.T, x float64) {
+		if math.IsNaN(x) {
+			return
+		}
+		Exp(dst, []float64{x}, Horner)
+		want := math.Exp(x)
+		switch {
+		case x > expMax:
+			if !math.IsInf(dst[0], 1) {
+				t.Fatalf("exp(%g) = %g, want +Inf", x, dst[0])
+			}
+		case x < expMin:
+			if dst[0] != 0 {
+				t.Fatalf("exp(%g) = %g, want 0", x, dst[0])
+			}
+		case math.IsInf(want, 1):
+			// Host-libm quirk: Go's amd64 math.Exp overflows prematurely
+			// (observed above ~709.436, well below log(MaxFloat64) =
+			// 709.7827). Our kernel stays finite there; just check sanity.
+			if math.IsInf(dst[0], 1) || dst[0] < 1e308 {
+				t.Fatalf("boundary exp(%g) = %g, want finite near MaxFloat64", x, dst[0])
+			}
+		default:
+			if u := UlpDiff(dst[0], want); u > 6 {
+				t.Fatalf("exp(%g) = %g want %g (%v ulp)", x, dst[0], want, u)
+			}
+		}
+	})
+}
+
+func FuzzExpCorrected(f *testing.F) {
+	for _, seed := range []float64{0, 1, -1, 100, -100, 0.693, 709.7} {
+		f.Add(seed)
+	}
+	dst := make([]float64, 1)
+	f.Fuzz(func(t *testing.T, x float64) {
+		if math.IsNaN(x) || x > expMax || x < expMin {
+			return
+		}
+		want := math.Exp(x)
+		if math.IsInf(want, 1) {
+			return // host-libm premature overflow; covered by the boundary test
+		}
+		ExpCorrected(dst, []float64{x})
+		if u := UlpDiff(dst[0], want); u > 2 {
+			t.Fatalf("corrected exp(%g): %v ulp", x, u)
+		}
+	})
+}
+
+func FuzzSqrtNewton(f *testing.F) {
+	for _, seed := range []float64{1, 2, 4, 1e-100, 1e100, 0.25} {
+		f.Add(seed)
+	}
+	dst := make([]float64, 1)
+	f.Fuzz(func(t *testing.T, x float64) {
+		if math.IsNaN(x) || x < 0 || math.IsInf(x, 0) || x == 0 ||
+			x < 1e-300 || x > 1e300 {
+			return
+		}
+		SqrtNewton(dst, []float64{x})
+		if u := UlpDiff(dst[0], math.Sqrt(x)); u > 1 {
+			t.Fatalf("sqrt(%g): %v ulp", x, u)
+		}
+	})
+}
+
+func FuzzLog2Exp2RoundTrip(f *testing.F) {
+	for _, seed := range []float64{1, 2, 0.5, 1e10, 1e-10, 3.7} {
+		f.Add(seed)
+	}
+	l := make([]float64, 1)
+	e := make([]float64, 1)
+	f.Fuzz(func(t *testing.T, x float64) {
+		if !(x > 1e-280 && x < 1e280) {
+			return
+		}
+		Log2(l, []float64{x})
+		Exp2(e, l)
+		rel := math.Abs(e[0]-x) / x
+		if rel > 1e-10 {
+			t.Fatalf("exp2(log2(%g)) = %g (rel %g)", x, e[0], rel)
+		}
+	})
+}

@@ -1,0 +1,6 @@
+package vmath
+
+import "ookami/internal/sve"
+
+func ptrue() sve.Pred          { return sve.PTrue() }
+func dupVec(x float64) sve.F64 { return sve.Dup(x) }

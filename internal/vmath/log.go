@@ -1,0 +1,105 @@
+package vmath
+
+import (
+	"math"
+
+	"ookami/internal/sve"
+)
+
+// Log computes dst[i] = ln(src[i]) vector-wise: log2 via the mantissa
+// decomposition kernel, scaled by ln 2 with a compensated product to keep
+// the error near 1 ulp.
+func Log(dst, src []float64) {
+	checkLen(dst, src)
+	const (
+		ln2Hi = 6.93147180369123816490e-01
+		ln2Lo = 1.90821492927058770002e-10
+	)
+	for base := 0; base < len(src); base += sve.VL {
+		p := sve.WhileLT(base, len(src))
+		x := sve.Load(src, base, p)
+		l2 := log2Vec(p, x)
+		// ln x = log2(x)*ln2, split product for accuracy.
+		hi := sve.Mul(p, l2, sve.Dup(ln2Hi))
+		res := sve.Fma(p, hi, l2, sve.Dup(ln2Lo))
+		sve.Store(dst, base, p, res)
+	}
+}
+
+// LogSerial is the per-element libm path.
+func LogSerial(dst, src []float64) {
+	checkLen(dst, src)
+	for i, x := range src {
+		dst[i] = math.Log(x)
+	}
+}
+
+// Exp2 computes dst[i] = 2^src[i] using the FEXPA scale path directly
+// (no ln2 reduction needed: the argument is already in binary exponent
+// units, which is exactly FEXPA's native domain).
+func Exp2(dst, src []float64) {
+	checkLen(dst, src)
+	for base := 0; base < len(src); base += sve.VL {
+		p := sve.WhileLT(base, len(src))
+		t := sve.Load(src, base, p)
+		sve.Store(dst, base, p, exp2Core(p, t))
+	}
+}
+
+// Cos computes dst[i] = cos(src[i]) by the sine kernel's quadrant
+// machinery: cos(x) = sin(x + pi/2), realized by shifting the quadrant
+// number rather than the (range-reduced) argument, so no accuracy is lost.
+func Cos(dst, src []float64) {
+	checkLen(dst, src)
+	for base := 0; base < len(src); base += sve.VL {
+		p := sve.WhileLT(base, len(src))
+		x := sve.Load(src, base, p)
+		sve.Store(dst, base, p, cosVec(p, x))
+	}
+}
+
+func cosVec(p sve.Pred, x sve.F64) sve.F64 {
+	z := sve.Fma(p, sve.Dup(sinShift), x, sve.Dup(twoOverPi))
+	n := sve.Sub(p, z, sve.Dup(sinShift))
+	r := sve.Fms(p, x, n, sve.Dup(pio2Hi))
+	r = sve.Fms(p, r, n, sve.Dup(pio2Lo))
+	r2 := sve.Mul(p, r, r)
+	sinR := sve.Mul(p, r, PolyHorner(p, r2, sinPoly))
+	cosR := PolyHorner(p, r2, cosPoly)
+	var res sve.F64
+	for l := range res {
+		if !p[l] {
+			continue
+		}
+		if math.IsNaN(x[l]) || math.IsInf(x[l], 0) {
+			res[l] = math.NaN()
+			continue
+		}
+		// cos quadrant = sin quadrant + 1.
+		switch (int64(n[l]) + 1) & 3 {
+		case 0:
+			res[l] = sinR[l]
+		case 1:
+			res[l] = cosR[l]
+		case 2:
+			res[l] = -sinR[l]
+		default:
+			res[l] = -cosR[l]
+		}
+	}
+	return res
+}
+
+// SinCos computes both sine and cosine of each element in one pass,
+// sharing the range reduction and both polynomials — the form molecular-
+// dynamics inner loops want.
+func SinCos(sinDst, cosDst, src []float64) {
+	checkLen(sinDst, src)
+	checkLen(cosDst, src)
+	for base := 0; base < len(src); base += sve.VL {
+		p := sve.WhileLT(base, len(src))
+		x := sve.Load(src, base, p)
+		sve.Store(sinDst, base, p, sinVec(p, x))
+		sve.Store(cosDst, base, p, cosVec(p, x))
+	}
+}

@@ -1,0 +1,200 @@
+package vmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLogAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = math.Exp(rng.Float64()*200 - 100)
+	}
+	got := make([]float64, len(xs))
+	Log(got, xs)
+	for i, x := range xs {
+		want := math.Log(x)
+		if math.Abs(got[i]-want) > 4e-12*(1+math.Abs(want)) {
+			t.Fatalf("log(%g) = %v want %v", x, got[i], want)
+		}
+	}
+}
+
+func TestLogEdges(t *testing.T) {
+	xs := []float64{1, math.E, 0, -1, math.Inf(1)}
+	got := make([]float64, len(xs))
+	Log(got, xs)
+	if math.Abs(got[0]) > 1e-13 {
+		t.Errorf("log(1) = %v", got[0])
+	}
+	if math.Abs(got[1]-1) > 1e-12 {
+		t.Errorf("log(e) = %v", got[1])
+	}
+	if !math.IsInf(got[2], -1) || !math.IsNaN(got[3]) || !math.IsInf(got[4], 1) {
+		t.Errorf("log edges: %v", got[2:])
+	}
+}
+
+func TestExp2Accuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.Float64()*2000 - 1000
+	}
+	got := make([]float64, len(xs))
+	Exp2(got, xs)
+	for i, x := range xs {
+		want := math.Exp2(x)
+		if UlpDiff(got[i], want) > 4 {
+			t.Fatalf("exp2(%v) = %v want %v (%v ulp)", x, got[i], want, UlpDiff(got[i], want))
+		}
+	}
+}
+
+func TestExp2ExactIntegers(t *testing.T) {
+	// 2^k for integer k must be exact: FEXPA supplies the scale directly
+	// and the polynomial sees r = 0.
+	for k := -1020.0; k <= 1023; k += 13 {
+		got := make([]float64, 1)
+		Exp2(got, []float64{k})
+		if got[0] != math.Exp2(k) {
+			t.Fatalf("exp2(%v) = %g want %g", k, got[0], math.Exp2(k))
+		}
+	}
+}
+
+func TestExp2EdgesAndSaturation(t *testing.T) {
+	xs := []float64{1030, -1100, math.NaN(), 0}
+	got := make([]float64, len(xs))
+	Exp2(got, xs)
+	if !math.IsInf(got[0], 1) || got[1] != 0 || !math.IsNaN(got[2]) || got[3] != 1 {
+		t.Errorf("exp2 edges: %v", got)
+	}
+}
+
+func TestCosAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	xs := make([]float64, 30000)
+	for i := range xs {
+		xs[i] = rng.Float64()*100 - 50
+	}
+	got := make([]float64, len(xs))
+	Cos(got, xs)
+	for i, x := range xs {
+		if math.Abs(got[i]-math.Cos(x)) > 1e-14 {
+			t.Fatalf("cos(%v) abs err %g", x, math.Abs(got[i]-math.Cos(x)))
+		}
+	}
+}
+
+func TestSinCosConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	xs := make([]float64, 8192)
+	for i := range xs {
+		xs[i] = rng.Float64()*60 - 30
+	}
+	s := make([]float64, len(xs))
+	c := make([]float64, len(xs))
+	SinCos(s, c, xs)
+	// Must match the standalone kernels bitwise.
+	s2 := make([]float64, len(xs))
+	c2 := make([]float64, len(xs))
+	Sin(s2, xs)
+	Cos(c2, xs)
+	for i := range xs {
+		if s[i] != s2[i] || c[i] != c2[i] {
+			t.Fatalf("SinCos diverges from Sin/Cos at %d", i)
+		}
+		// Pythagorean identity within a few ulp.
+		if d := math.Abs(s[i]*s[i] + c[i]*c[i] - 1); d > 1e-13 {
+			t.Fatalf("sin^2+cos^2-1 = %g at x=%v", d, xs[i])
+		}
+	}
+}
+
+func TestCosSpecials(t *testing.T) {
+	xs := []float64{0, math.Pi, math.Pi / 2, math.NaN(), math.Inf(1)}
+	got := make([]float64, len(xs))
+	Cos(got, xs)
+	if got[0] != 1 {
+		t.Errorf("cos(0) = %v", got[0])
+	}
+	if math.Abs(got[1]+1) > 1e-15 {
+		t.Errorf("cos(pi) = %v", got[1])
+	}
+	if math.Abs(got[2]) > 1e-16 {
+		t.Errorf("cos(pi/2) = %v", got[2])
+	}
+	if !math.IsNaN(got[3]) || !math.IsNaN(got[4]) {
+		t.Errorf("cos specials: %v", got[3:])
+	}
+}
+
+func TestAccuracySuite(t *testing.T) {
+	reports := StandardAccuracySuite(20001)
+	if len(reports) != 10 {
+		t.Fatalf("suite size %d", len(reports))
+	}
+	bounds := map[string]float64{
+		"exp (FEXPA, Horner)":  6, // the paper's claim
+		"exp (FEXPA, Estrin)":  6,
+		"exp (ported generic)": 8,
+		"log":                  8, // single-double log: ~5-6 ulp at huge exponents
+		"log2":                 8,
+		"exp2":                 4,
+		"recip (Newton)":       2,
+		"sqrt (Newton)":        1,
+	}
+	for _, r := range reports {
+		if r.Samples != 20001 {
+			t.Errorf("%s: samples %d", r.Name, r.Samples)
+		}
+		if r.MeanUlp > r.MaxUlp || r.P99Ulp > r.MaxUlp {
+			t.Errorf("%s: inconsistent stats %+v", r.Name, r)
+		}
+		if b, ok := bounds[r.Name]; ok && r.MaxUlp > b {
+			t.Errorf("%s: max %.2f ulp exceeds bound %v", r.Name, r.MaxUlp, b)
+		}
+		if r.CorrectlyRounded < 0.2 {
+			t.Errorf("%s: only %.1f%% correctly rounded", r.Name, 100*r.CorrectlyRounded)
+		}
+	}
+	text := RenderAccuracySuite(reports)
+	if len(text) < 100 {
+		t.Error("render too short")
+	}
+}
+
+func TestUlpHistogramSumsToN(t *testing.T) {
+	h := UlpHistogram(func(dst, src []float64) { Exp(dst, src, Horner) },
+		math.Exp, -100, 100, 5000)
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 5000 {
+		t.Errorf("histogram total %d", total)
+	}
+	if h[0] == 0 {
+		t.Error("no correctly rounded samples at all?")
+	}
+	if h[5] != 0 {
+		t.Errorf("%d samples beyond 8 ulp", h[5])
+	}
+}
+
+func TestMeasureAccuracyWorstInput(t *testing.T) {
+	// An artificial function 1 ulp off everywhere: max == mean == 1.
+	off := func(dst, src []float64) {
+		for i, x := range src {
+			dst[i] = math.Nextafter(x, math.Inf(1))
+		}
+	}
+	ident := func(x float64) float64 { return x }
+	r := MeasureAccuracy("off-by-one", off, ident, 1, 2, 100)
+	if r.MaxUlp != 1 || r.MeanUlp != 1 || r.CorrectlyRounded != 0 {
+		t.Errorf("report %+v", r)
+	}
+}

@@ -1,0 +1,292 @@
+package vmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRecipNewtonAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = math.Exp(rng.Float64()*40 - 20)
+		if i%2 == 0 {
+			xs[i] = -xs[i]
+		}
+	}
+	got := make([]float64, len(xs))
+	want := make([]float64, len(xs))
+	RecipNewton(got, xs)
+	RecipDiv(want, xs)
+	if maxU := MaxUlp(got, want); maxU > 2 {
+		t.Errorf("Newton reciprocal max ulp %.1f vs FDIV", maxU)
+	}
+}
+
+func TestRecipEdgeCases(t *testing.T) {
+	xs := []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.NaN(), 1}
+	got := make([]float64, len(xs))
+	RecipNewton(got, xs)
+	if !math.IsInf(got[0], 1) || !math.IsInf(got[1], -1) {
+		t.Errorf("1/0 lanes: %v", got[:2])
+	}
+	if got[2] != 0 || got[3] != 0 || !math.IsNaN(got[4]) || got[5] != 1 {
+		t.Errorf("edge lanes: %v", got[2:])
+	}
+}
+
+func TestSqrtNewtonMatchesBlocking(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = math.Exp(rng.Float64()*40 - 20)
+	}
+	newton := make([]float64, len(xs))
+	blocking := make([]float64, len(xs))
+	SqrtNewton(newton, xs)
+	SqrtBlocking(blocking, xs)
+	// FSQRT is correctly rounded; Newton must be within 1 ulp of it.
+	if maxU := MaxUlp(newton, blocking); maxU > 1 {
+		t.Errorf("Newton sqrt max ulp %.1f vs FSQRT", maxU)
+	}
+}
+
+func TestSqrtEdgeCases(t *testing.T) {
+	xs := []float64{0, 4, math.Inf(1), -1, math.NaN()}
+	got := make([]float64, len(xs))
+	SqrtNewton(got, xs)
+	if got[0] != 0 || got[1] != 2 || !math.IsInf(got[2], 1) {
+		t.Errorf("sqrt lanes: %v", got[:3])
+	}
+	if !math.IsNaN(got[3]) || !math.IsNaN(got[4]) {
+		t.Errorf("sqrt NaN lanes: %v", got[3:])
+	}
+}
+
+func TestSqrtBlockingIsExact(t *testing.T) {
+	xs := []float64{2, 3, 5, 7, 1e300, 1e-300}
+	got := make([]float64, len(xs))
+	SqrtBlocking(got, xs)
+	for i, x := range xs {
+		if got[i] != math.Sqrt(x) {
+			t.Errorf("FSQRT(%g) = %g", x, got[i])
+		}
+	}
+}
+
+func TestSinAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = rng.Float64()*100 - 50
+	}
+	got := make([]float64, len(xs))
+	Sin(got, xs)
+	want := make([]float64, len(xs))
+	SinSerial(want, xs)
+	// Absolute error bound: the two-part Cody–Waite reduction loses
+	// ~|n| ulp of pi/2, so allow a few 1e-15 over [-50, 50].
+	for i := range xs {
+		if math.Abs(got[i]-want[i]) > 1e-14 {
+			t.Fatalf("sin(%v) = %v want %v (abs err %g)", xs[i], got[i], want[i],
+				math.Abs(got[i]-want[i]))
+		}
+	}
+}
+
+func TestSinSmallRangeTight(t *testing.T) {
+	// Without reduction (|x| <= pi/4) the kernel is good to ~1 ulp.
+	rng := rand.New(rand.NewSource(16))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = (rng.Float64()*2 - 1) * math.Pi / 4
+	}
+	got := make([]float64, len(xs))
+	Sin(got, xs)
+	for i, x := range xs {
+		if math.Abs(got[i]-math.Sin(x)) > 5e-16 {
+			t.Fatalf("sin(%v) abs err %g", x, math.Abs(got[i]-math.Sin(x)))
+		}
+	}
+}
+
+func TestSinQuadrants(t *testing.T) {
+	xs := []float64{0, math.Pi / 2, math.Pi, 3 * math.Pi / 2, 2 * math.Pi,
+		-math.Pi / 2, -math.Pi, 7, -7}
+	got := make([]float64, len(xs))
+	Sin(got, xs)
+	for i, x := range xs {
+		if math.Abs(got[i]-math.Sin(x)) > 1e-15 {
+			t.Errorf("sin(%v) = %v want %v", x, got[i], math.Sin(x))
+		}
+	}
+}
+
+func TestSinSpecialValues(t *testing.T) {
+	xs := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	got := make([]float64, len(xs))
+	Sin(got, xs)
+	for i := range got {
+		if !math.IsNaN(got[i]) {
+			t.Errorf("sin special lane %d = %v, want NaN", i, got[i])
+		}
+	}
+}
+
+func TestLog2Accuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = math.Exp(rng.Float64()*200 - 100)
+	}
+	got := make([]float64, len(xs))
+	Log2(got, xs)
+	for i, x := range xs {
+		want := math.Log2(x)
+		if math.Abs(got[i]-want) > 5e-12*(1+math.Abs(want)) {
+			t.Fatalf("log2(%g) = %v want %v", x, got[i], want)
+		}
+	}
+}
+
+func TestLog2ExactPowers(t *testing.T) {
+	xs := []float64{0.25, 0.5, 1, 2, 4, 1024}
+	got := make([]float64, len(xs))
+	Log2(got, xs)
+	want := []float64{-2, -1, 0, 1, 2, 10}
+	for i := range xs {
+		if math.Abs(got[i]-want[i]) > 1e-13 {
+			t.Errorf("log2(%v) = %v want %v", xs[i], got[i], want[i])
+		}
+	}
+}
+
+func TestLog2Edges(t *testing.T) {
+	xs := []float64{0, -1, math.Inf(1), math.NaN()}
+	got := make([]float64, len(xs))
+	Log2(got, xs)
+	if !math.IsInf(got[0], -1) || !math.IsNaN(got[1]) || !math.IsInf(got[2], 1) || !math.IsNaN(got[3]) {
+		t.Errorf("log2 edges: %v", got)
+	}
+}
+
+func TestPowAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	n := 20000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Exp(rng.Float64()*10 - 5)
+		ys[i] = rng.Float64()*20 - 10
+	}
+	got := make([]float64, n)
+	want := make([]float64, n)
+	Pow(got, xs, ys)
+	PowSerial(want, xs, ys)
+	for i := range xs {
+		rel := math.Abs(got[i]-want[i]) / math.Abs(want[i])
+		if rel > 1e-9 {
+			t.Fatalf("pow(%g,%g) = %g want %g (rel %g)", xs[i], ys[i], got[i], want[i], rel)
+		}
+	}
+}
+
+func TestPowSpecialCases(t *testing.T) {
+	xs := []float64{2, 0, math.Inf(1), -2, 10}
+	ys := []float64{10, 3, 2, 2, 0}
+	got := make([]float64, len(xs))
+	Pow(got, xs, ys)
+	if got[0] != 1024 {
+		t.Errorf("pow(2,10) = %v", got[0])
+	}
+	if got[1] != 0 {
+		t.Errorf("pow(0,3) = %v", got[1])
+	}
+	if !math.IsInf(got[2], 1) {
+		t.Errorf("pow(inf,2) = %v", got[2])
+	}
+	if got[3] != 4 { // negative base handled by the libm fallback
+		t.Errorf("pow(-2,2) = %v", got[3])
+	}
+	if got[4] != 1 {
+		t.Errorf("pow(10,0) = %v", got[4])
+	}
+}
+
+func TestPowOverflowUnderflow(t *testing.T) {
+	xs := []float64{10, 10}
+	ys := []float64{400, -400}
+	got := make([]float64, 2)
+	Pow(got, xs, ys)
+	if !math.IsInf(got[0], 1) {
+		t.Errorf("pow overflow = %v", got[0])
+	}
+	if got[1] != 0 {
+		t.Errorf("pow underflow = %v", got[1])
+	}
+}
+
+func TestUlpDiff(t *testing.T) {
+	if UlpDiff(1, 1) != 0 {
+		t.Error("equal values")
+	}
+	if UlpDiff(1, math.Nextafter(1, 2)) != 1 {
+		t.Error("adjacent values should be 1 ulp")
+	}
+	if UlpDiff(1, math.Nextafter(math.Nextafter(1, 2), 2)) != 2 {
+		t.Error("two steps should be 2 ulp")
+	}
+	// Across zero: -0 and +0 are adjacent on the ordered line.
+	if d := UlpDiff(math.Copysign(0, -1), 0); d > 1 {
+		t.Errorf("signed zeros %v ulp apart", d)
+	}
+	if !math.IsInf(UlpDiff(1, math.NaN()), 1) {
+		t.Error("NaN vs number should be +Inf")
+	}
+	if UlpDiff(math.NaN(), math.NaN()) != 0 {
+		t.Error("NaN vs NaN should be 0")
+	}
+}
+
+func TestMaxMeanUlp(t *testing.T) {
+	a := []float64{1, 2, 4}
+	b := []float64{1, math.Nextafter(2, 3), 4}
+	if MaxUlp(a, b) != 1 {
+		t.Error("max ulp")
+	}
+	if got := MeanUlp(a, b); math.Abs(got-1.0/3) > 1e-15 {
+		t.Errorf("mean ulp = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch must panic")
+		}
+	}()
+	MaxUlp(a, b[:2])
+}
+
+func TestPolyFormsAgreeOnKnownPolynomial(t *testing.T) {
+	// p(r) = 1 + 2r + 3r^2 + 4r^3 at r=0.5: 1 + 1 + 0.75 + 0.5 = 3.25.
+	coef := []float64{1, 2, 3, 4}
+	r := dupVec(0.5)
+	h := PolyHorner(ptrue(), r, coef)
+	e := PolyEstrin(ptrue(), r, coef)
+	if math.Abs(h[0]-3.25) > 1e-15 || math.Abs(e[0]-3.25) > 1e-15 {
+		t.Errorf("horner=%v estrin=%v want 3.25", h[0], e[0])
+	}
+	// Odd-length coefficient list.
+	coef5 := []float64{1, 1, 1, 1, 1}
+	h5 := PolyHorner(ptrue(), r, coef5)
+	e5 := PolyEstrin(ptrue(), r, coef5)
+	if math.Abs(h5[0]-e5[0]) > 1e-14 {
+		t.Errorf("odd-degree mismatch: %v vs %v", h5[0], e5[0])
+	}
+	// Empty polynomial evaluates to zero.
+	if z := PolyHorner(ptrue(), r, nil); z[0] != 0 {
+		t.Error("empty horner")
+	}
+	if z := PolyEstrin(ptrue(), r, nil); z[0] != 0 {
+		t.Error("empty estrin")
+	}
+}

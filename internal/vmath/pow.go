@@ -1,0 +1,144 @@
+package vmath
+
+import (
+	"math"
+
+	"ookami/internal/sve"
+)
+
+// Vectorized log2 and pow. pow(x,y) = 2^(y*log2 x): log2 by mantissa
+// decomposition and an atanh series, 2^t through the FEXPA scale path.
+// Relative accuracy is ~1e-12 scaled by |y| — the single-double log the
+// vector libraries in the paper's Figure 2 use (the correctly rounded
+// serial pow is far slower, which is the point of the comparison).
+
+var log2Poly = func() []float64 {
+	// log(m) = 2*atanh(s), s=(m-1)/(m+1): 2*(s + s^3/3 + ... + s^13/13),
+	// converted to log2 by 1/ln2. Coefficients on s^2 with overall factor
+	// handled in the kernel: c[k] = 2/(ln2*(2k+1)).
+	c := make([]float64, 7)
+	for k := range c {
+		c[k] = 2 / (math.Ln2 * float64(2*k+1))
+	}
+	return c
+}()
+
+// Log2 computes dst[i] = log2(src[i]) for positive finite inputs;
+// non-positive and non-finite lanes get the IEEE results (-Inf, NaN, +Inf).
+func Log2(dst, src []float64) {
+	checkLen(dst, src)
+	for base := 0; base < len(src); base += sve.VL {
+		p := sve.WhileLT(base, len(src))
+		x := sve.Load(src, base, p)
+		sve.Store(dst, base, p, log2Vec(p, x))
+	}
+}
+
+func log2Vec(p sve.Pred, x sve.F64) sve.F64 {
+	var res sve.F64
+	var m sve.F64
+	var k sve.F64
+	for l := range x {
+		if !p[l] {
+			continue
+		}
+		// Decompose x = 2^k * m with m in [sqrt(1/2), sqrt(2)).
+		fr, e := math.Frexp(x[l]) // fr in [0.5, 1)
+		if fr < math.Sqrt2/2 {
+			fr *= 2
+			e--
+		}
+		m[l] = fr
+		k[l] = float64(e)
+	}
+	// s = (m-1)/(m+1), computed with a Newton reciprocal (no FDIV).
+	num := sve.Sub(p, m, sve.Dup(1))
+	den := sve.Add(p, m, sve.Dup(1))
+	inv := sve.Recpe(p, den)
+	for step := 0; step < 3; step++ {
+		inv = sve.Mul(p, inv, sve.Recps(p, den, inv))
+	}
+	s := sve.Mul(p, num, inv)
+	s2 := sve.Mul(p, s, s)
+	poly := PolyHorner(p, s2, log2Poly)
+	res = sve.Fma(p, k, s, poly) // k + s*poly
+	for l := range res {
+		if !p[l] {
+			continue
+		}
+		switch {
+		case x[l] == 0:
+			res[l] = math.Inf(-1)
+		case x[l] < 0 || math.IsNaN(x[l]):
+			res[l] = math.NaN()
+		case math.IsInf(x[l], 1):
+			res[l] = math.Inf(1)
+		}
+	}
+	return res
+}
+
+// Pow computes dst[i] = xs[i]^ys[i] lane-wise for positive bases using
+// 2^(y*log2 x) with the FEXPA scale path.
+func Pow(dst, xs, ys []float64) {
+	checkLen(dst, xs)
+	checkLen(dst, ys)
+	for base := 0; base < len(xs); base += sve.VL {
+		p := sve.WhileLT(base, len(xs))
+		x := sve.Load(xs, base, p)
+		y := sve.Load(ys, base, p)
+		t := sve.Mul(p, y, log2Vec(p, x)) // t = y*log2(x)
+		res := exp2Core(p, t)
+		// IEEE corner cases the fast path cannot represent: defer to libm.
+		for l := range res {
+			if !p[l] {
+				continue
+			}
+			switch {
+			case math.IsNaN(x[l]) || math.IsNaN(y[l]) || x[l] < 0,
+				x[l] == 0 || math.IsInf(x[l], 0) || math.IsInf(y[l], 0):
+				res[l] = math.Pow(x[l], y[l])
+			}
+		}
+		sve.Store(dst, base, p, res)
+	}
+}
+
+// exp2Core computes 2^t via FEXPA: n = round(64 t), r = (t - n/64)*ln2,
+// 5-term series, scale by FEXPA(n + bias<<6). Saturation fixups against t
+// are included; NaN propagates through the arithmetic.
+func exp2Core(p sve.Pred, t sve.F64) sve.F64 {
+	z := sve.Fma(p, sve.Dup(expShift), t, sve.Dup(64))
+	u, double := fexpaOperand(p, z)
+	scale := sve.Fexpa(p, u)
+	n := sve.Sub(p, z, sve.Dup(expShift))
+	// r = (t - n/64) * ln2; t - n/64 is exact (n/64 has the same spacing).
+	r := sve.Fms(p, t, n, sve.Dup(1.0/64))
+	r = sve.Mul(p, r, sve.Dup(math.Ln2))
+	poly := PolyHorner(p, r, expPoly5)
+	res := sve.Mul(p, scale, poly)
+	res = sve.Sel(double, sve.Add(p, res, res), res)
+	for l := range res {
+		if !p[l] {
+			continue
+		}
+		switch {
+		case math.IsNaN(t[l]):
+			res[l] = math.NaN()
+		case t[l] >= 1023.98: // FEXPA's biased exponent saturates at 2046
+			res[l] = math.Inf(1)
+		case t[l] <= -1021: // subnormal range: flush to zero
+			res[l] = 0
+		}
+	}
+	return res
+}
+
+// PowSerial is the per-element libm path.
+func PowSerial(dst, xs, ys []float64) {
+	checkLen(dst, xs)
+	checkLen(dst, ys)
+	for i := range xs {
+		dst[i] = math.Pow(xs[i], ys[i])
+	}
+}

@@ -1,0 +1,96 @@
+package vmath
+
+import (
+	"math"
+
+	"ookami/internal/sve"
+)
+
+// Vectorized sine with the classical Payne–Hanek-lite reduction: quadrant
+// n = round(x*2/pi), r = x - n*pi/2 via a two-part Cody–Waite split, then
+// the fdlibm minimax kernels for sin/cos on |r| <= pi/4, combined per lane
+// by quadrant with predicates — exactly how a vector math library
+// implements sin without divergent branches. Accurate to a few ulp for
+// |x| <= ~1e5 (the reduction is not the full Payne–Hanek).
+
+const (
+	twoOverPi = 2 / math.Pi
+	pio2Hi    = 1.57079632673412561417e+00 // 33 high bits of pi/2
+	pio2Lo    = 6.07710050650619224932e-11 // pi/2 - pio2Hi (double)
+	sinShift  = 1.5 * (1 << 52)
+)
+
+var sinPoly = []float64{
+	1,
+	-1.66666666666666324348e-01,
+	8.33333333332248946124e-03,
+	-1.98412698298579493134e-04,
+	2.75573137070700676789e-06,
+	-2.50507602534068634195e-08,
+	1.58969099521155010221e-10,
+}
+
+var cosPoly = []float64{
+	1,
+	-0.5,
+	4.16666666666666019037e-02,
+	-1.38888888888741095749e-03,
+	2.48015872894767294178e-05,
+	-2.75573143513906633035e-07,
+	2.08757232129817482790e-09,
+	-1.13596475577881948265e-11,
+}
+
+// Sin computes dst[i] = sin(src[i]) vector-wise.
+func Sin(dst, src []float64) {
+	checkLen(dst, src)
+	for base := 0; base < len(src); base += sve.VL {
+		p := sve.WhileLT(base, len(src))
+		x := sve.Load(src, base, p)
+		sve.Store(dst, base, p, sinVec(p, x))
+	}
+}
+
+func sinVec(p sve.Pred, x sve.F64) sve.F64 {
+	// n = round(x * 2/pi) via the shift trick.
+	z := sve.Fma(p, sve.Dup(sinShift), x, sve.Dup(twoOverPi))
+	n := sve.Sub(p, z, sve.Dup(sinShift))
+	// r = x - n*pi/2, two-step.
+	r := sve.Fms(p, x, n, sve.Dup(pio2Hi))
+	r = sve.Fms(p, r, n, sve.Dup(pio2Lo))
+	r2 := sve.Mul(p, r, r)
+	// sin(r) = r * P(r^2); cos(r) = Q(r^2). Both evaluated on all lanes,
+	// then selected by quadrant — the branch-free vector-library pattern.
+	sinR := sve.Mul(p, r, PolyHorner(p, r2, sinPoly))
+	cosR := PolyHorner(p, r2, cosPoly)
+	var res sve.F64
+	for l := range res {
+		if !p[l] {
+			continue
+		}
+		if math.IsNaN(x[l]) || math.IsInf(x[l], 0) {
+			res[l] = math.NaN()
+			continue
+		}
+		switch int64(n[l]) & 3 {
+		case 0:
+			res[l] = sinR[l]
+		case 1:
+			res[l] = cosR[l]
+		case 2:
+			res[l] = -sinR[l]
+		default:
+			res[l] = -cosR[l]
+		}
+	}
+	return res
+}
+
+// SinSerial is the per-element libm path (the GNU toolchain's only option
+// on ARM+SVE).
+func SinSerial(dst, src []float64) {
+	checkLen(dst, src)
+	for i, x := range src {
+		dst[i] = math.Sin(x)
+	}
+}

@@ -1,0 +1,108 @@
+// Package ookami reproduces the study "A64FX performance: experience on
+// Ookami" (IEEE CLUSTER 2021) as a self-contained Go library: a software
+// emulation of the SVE instructions the paper's analysis builds on, a
+// discrete performance model of the A64FX and the comparison x86 systems,
+// models of the five compiler toolchains, real implementations of every
+// workload (the Section III loop suite, the FEXPA exponential, the NAS
+// Parallel Benchmarks, LULESH, and the HPCC DGEMM/HPL/FFT set), and
+// generators that regenerate every figure and table of the paper's
+// evaluation.
+//
+// The package re-exports the stable entry points; the implementation
+// lives under internal/. Quick tour:
+//
+//	for _, item := range ookami.Figures() {
+//		fmt.Println(item.Generate())
+//	}
+//
+// runs the whole evaluation. See examples/ for focused walkthroughs and
+// DESIGN.md for the system inventory.
+package ookami
+
+import (
+	"ookami/internal/figures"
+	"ookami/internal/machine"
+	"ookami/internal/npb"
+	"ookami/internal/omp"
+	"ookami/internal/stats"
+	"ookami/internal/toolchain"
+	"ookami/internal/vmath"
+)
+
+// Machine describes one of the compared systems (Table III).
+type Machine = machine.Machine
+
+// Predefined machines.
+var (
+	A64FX       = machine.A64FX
+	SkylakeLoop = machine.SkylakeGold6140 // loop-suite comparison system
+	StampedeSKX = machine.StampedeSKX
+	StampedeKNL = machine.StampedeKNL
+	Zen2        = machine.Zen2
+)
+
+// Machines lists every predefined machine.
+func Machines() []Machine { return machine.All }
+
+// Toolchain models one of the paper's five compiler stacks (Table I).
+type Toolchain = toolchain.Toolchain
+
+// The modeled toolchains.
+var (
+	Fujitsu = toolchain.Fujitsu
+	Cray    = toolchain.Cray
+	Arm     = toolchain.Arm
+	GNU     = toolchain.GNU
+	Intel   = toolchain.Intel
+)
+
+// Toolchains lists every modeled toolchain.
+func Toolchains() []Toolchain { return toolchain.All }
+
+// FigureItem is one regenerable figure or table of the paper.
+type FigureItem = figures.Item
+
+// Figures returns every figure/table generator, in paper order.
+func Figures() []FigureItem { return figures.All() }
+
+// Extras returns the ablation studies beyond the paper's artifacts
+// (window/unroll sweeps, sqrt strategy, gather windows, placement,
+// cache-line amplification, the Monte-Carlo GPU story).
+func Extras() []FigureItem { return figures.Extras() }
+
+// Figure returns the generator with the given id (e.g. "fig1", "tableII").
+func Figure(id string) (FigureItem, bool) { return figures.ByID(id) }
+
+// Table is the renderable result of a generator.
+type Table = stats.Table
+
+// Team is a parallel worker team for running the real kernels.
+type Team = omp.Team
+
+// NewTeam creates a team of n workers (n <= 0: GOMAXPROCS).
+func NewTeam(n int) *Team { return omp.NewTeam(n) }
+
+// NPBSuite returns the six NAS Parallel Benchmarks (BT, CG, EP, LU, SP,
+// UA) as runnable, self-verifying implementations.
+func NPBSuite() []npb.Benchmark { return npb.Suite() }
+
+// NPBClass identifies an NPB problem class ('S' ... 'C').
+type NPBClass = npb.Class
+
+// NPB classes.
+const (
+	ClassS = npb.ClassS
+	ClassW = npb.ClassW
+	ClassA = npb.ClassA
+	ClassB = npb.ClassB
+	ClassC = npb.ClassC
+)
+
+// Exp computes dst[i] = exp(src[i]) with the Section IV FEXPA kernel
+// (Horner form) — the library routine the paper shows GNU's toolchain is
+// missing on ARM+SVE.
+func Exp(dst, src []float64) { vmath.Exp(dst, src, vmath.Horner) }
+
+// MaxUlp measures the largest units-in-last-place error between got and
+// want, the paper's accuracy metric.
+func MaxUlp(got, want []float64) float64 { return vmath.MaxUlp(got, want) }

@@ -1,0 +1,91 @@
+package ookami_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ookami"
+)
+
+// Tests of the public facade: everything a downstream user touches first.
+
+func TestPublicMachines(t *testing.T) {
+	if ookami.A64FX.PeakGFLOPSCore() != 57.6 {
+		t.Error("A64FX peak")
+	}
+	if len(ookami.Machines()) < 5 {
+		t.Error("machine list")
+	}
+	if ookami.Zen2.Cores != 128 || ookami.StampedeKNL.Cores != 68 {
+		t.Error("table III cores")
+	}
+}
+
+func TestPublicToolchains(t *testing.T) {
+	if len(ookami.Toolchains()) != 5 {
+		t.Error("toolchain count")
+	}
+	if ookami.GNU.Name != "GNU" || ookami.Fujitsu.Version != "1.0.20" {
+		t.Error("toolchain identities")
+	}
+}
+
+func TestPublicFigures(t *testing.T) {
+	items := ookami.Figures()
+	if len(items) != 12 {
+		t.Fatalf("figure count %d", len(items))
+	}
+	it, ok := ookami.Figure("tableIII")
+	if !ok {
+		t.Fatal("tableIII missing")
+	}
+	if !strings.Contains(it.Generate().String(), "Ookami") {
+		t.Error("tableIII content")
+	}
+	if _, ok := ookami.Figure("bogus"); ok {
+		t.Error("bogus id resolved")
+	}
+}
+
+func TestPublicNPB(t *testing.T) {
+	suite := ookami.NPBSuite()
+	if len(suite) != 6 {
+		t.Fatal("suite size")
+	}
+	team := ookami.NewTeam(4)
+	for _, b := range suite {
+		if b.Name() != "EP" {
+			continue
+		}
+		res, err := b.Run(ookami.ClassS, team)
+		if err != nil || !res.Verified {
+			t.Fatalf("EP: %v (verified=%v)", err, res.Verified)
+		}
+	}
+}
+
+func TestPublicExp(t *testing.T) {
+	xs := []float64{-1, 0, 1, 10, -10}
+	got := make([]float64, len(xs))
+	want := make([]float64, len(xs))
+	ookami.Exp(got, xs)
+	for i, x := range xs {
+		want[i] = math.Exp(x)
+	}
+	if u := ookami.MaxUlp(got, want); u > 6 {
+		t.Errorf("public Exp max ulp %v", u)
+	}
+}
+
+func TestPublicExtras(t *testing.T) {
+	ex := ookami.Extras()
+	if len(ex) < 6 {
+		t.Fatalf("extras count %d", len(ex))
+	}
+	for _, it := range ex {
+		if len(it.Generate().Rows) == 0 {
+			t.Errorf("%s empty", it.ID)
+		}
+	}
+}
