@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: build test race vet check bench figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/ookami-vet ./...
+
+# The full gate: what a PR must keep green.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+	$(GO) run ./cmd/ookami-vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+figures:
+	$(GO) run ./cmd/ookami-figures -out results/

@@ -37,6 +37,7 @@ func benchFigure(b *testing.B, id string, metricName string, metric func() float
 		b.Fatalf("unknown figure %s", id)
 	}
 	var out string
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		out = item.Generate().String()
 	}
@@ -146,6 +147,7 @@ func BenchmarkExpFEXPAHorner(b *testing.B) {
 	xs := randVec(4096, -700, 700)
 	dst := make([]float64, len(xs))
 	b.SetBytes(int64(8 * len(xs)))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		vmath.Exp(dst, xs, vmath.Horner)
 	}
@@ -155,6 +157,7 @@ func BenchmarkExpFEXPAEstrin(b *testing.B) {
 	xs := randVec(4096, -700, 700)
 	dst := make([]float64, len(xs))
 	b.SetBytes(int64(8 * len(xs)))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		vmath.Exp(dst, xs, vmath.Estrin)
 	}
@@ -164,6 +167,7 @@ func BenchmarkExpSerialLibm(b *testing.B) {
 	xs := randVec(4096, -700, 700)
 	dst := make([]float64, len(xs))
 	b.SetBytes(int64(8 * len(xs)))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		vmath.ExpSerial(dst, xs)
 	}
@@ -172,6 +176,7 @@ func BenchmarkExpSerialLibm(b *testing.B) {
 func BenchmarkSqrtNewton(b *testing.B) {
 	xs := randVec(4096, 0.001, 1e6)
 	dst := make([]float64, len(xs))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		vmath.SqrtNewton(dst, xs)
 	}
@@ -180,6 +185,7 @@ func BenchmarkSqrtNewton(b *testing.B) {
 func BenchmarkGatherFullPermutation(b *testing.B) {
 	w := loops.NewWorkload(1<<14, 1)
 	y := make([]float64, w.N)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		loops.GatherSVE(y, w.X, w.Index)
 	}
@@ -188,6 +194,7 @@ func BenchmarkGatherFullPermutation(b *testing.B) {
 func BenchmarkGatherShortWindows(b *testing.B) {
 	w := loops.NewWorkload(1<<14, 1)
 	y := make([]float64, w.N)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		loops.GatherSVE(y, w.X, w.Short)
 	}
@@ -204,6 +211,7 @@ func benchDgemm(b *testing.B, fn blas.Dgemm) {
 	bb := randVec(n*n, -1, 1)
 	c := make([]float64, n*n)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		fn(team, n, a, bb, c)
 	}
@@ -217,6 +225,7 @@ func BenchmarkHPLFactor(b *testing.B) {
 	src := randVec(n*n, -1, 1)
 	a := make([]float64, n*n)
 	piv := make([]int, n)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		copy(a, src)
 		if err := blas.LUFactor(team, n, a, piv, 32); err != nil {
@@ -231,13 +240,15 @@ func BenchmarkFFTPlanned(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	rng := rand.New(rand.NewSource(2))
 	x := make([]complex128, n)
 	for i := range x {
-		x[i] = complex(rand.Float64(), rand.Float64())
+		x[i] = complex(rng.Float64(), rng.Float64())
 	}
 	team := omp.NewTeam(0)
 	y := make([]complex128, n)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		copy(y, x)
 		if err := p.Transform(team, y); err != nil {
@@ -249,6 +260,7 @@ func BenchmarkFFTPlanned(b *testing.B) {
 func BenchmarkNPBEPClassS(b *testing.B) {
 	ep := npb.NewEP()
 	team := omp.NewTeam(0)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ep.RunFull(npb.ClassS, team)
 	}
@@ -257,6 +269,7 @@ func BenchmarkNPBEPClassS(b *testing.B) {
 func BenchmarkNPBCGClassS(b *testing.B) {
 	cg := npb.NewCG()
 	team := omp.NewTeam(0)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cg.RunFull(npb.ClassS, team)
 	}
@@ -269,27 +282,35 @@ func benchLulesh(b *testing.B, v lulesh.Variant) {
 	team := omp.NewTeam(0)
 	s := lulesh.NewSim(10, team, v)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s.Step()
 	}
 }
 
+// benchSink keeps pure-function results live so the compiler cannot
+// eliminate the timed work (the false-speedup bug ookami-vet flags).
+var benchSink float64
+
 func BenchmarkMonteCarloNaive(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		montecarlo.Naive(100000, 271828183)
+		benchSink = montecarlo.Naive(100000, 271828183)
 	}
 }
 
 func BenchmarkMonteCarloOptimized(b *testing.B) {
 	team := omp.NewTeam(0)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		montecarlo.Optimized(team, 128, 100000/128, 99)
+		benchSink = montecarlo.Optimized(team, 128, 100000/128, 99)
 	}
 }
 
 // --- distributed (message-passing) kernels ---
 
 func BenchmarkDistHPL2Ranks(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		resid, _, err := mpi.DistHPL(2, 96, 2026)
 		if err != nil || resid > 16 {
@@ -304,6 +325,7 @@ func BenchmarkDistFFT4Ranks(b *testing.B) {
 		x[i] = complex(float64(i%13), float64(i%7))
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := mpi.DistFFT(4, x, 64, 64); err != nil {
 			b.Fatal(err)
@@ -314,6 +336,7 @@ func BenchmarkDistFFT4Ranks(b *testing.B) {
 // --- cache simulation and STREAM ---
 
 func BenchmarkCacheStridedSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := cache.A64FXHierarchy()
 		cache.StridedSweep(h, 0, 4096, 1<<14)
@@ -322,6 +345,7 @@ func BenchmarkCacheStridedSweep(b *testing.B) {
 
 func BenchmarkStreamTriadHost(b *testing.B) {
 	team := omp.NewTeam(0)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		hpcc.RunStream(team, 1<<18, 1)
 	}

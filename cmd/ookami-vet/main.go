@@ -1,0 +1,71 @@
+// Command ookami-vet runs the reproduction's static-analysis suite: the
+// repro-specific checks (determinism of golden-producing packages, float
+// equality, synchronization hygiene of the simulated runtimes, benchmark
+// harness hygiene, dropped errors in the CLIs) that `go vet` has no
+// opinion on. It exits nonzero when any analyzer reports a finding.
+//
+// Usage:
+//
+//	ookami-vet [-list] [-only determinism,floateq] [packages]
+//
+// Packages default to ./... resolved against the enclosing module. A
+// finding is suppressed by an `//ookami:nolint <analyzer> -- reason`
+// comment on the flagged line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"ookami/internal/analysis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ookami-vet: ")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := analysis.ByName(strings.TrimSpace(name))
+			if !ok {
+				log.Fatalf("unknown analyzer %q (use -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diags, err := analysis.Vet(root, flag.Args(), analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		log.Printf("%d finding(s)", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,185 @@
+// Package analysis is a stdlib-only static-analysis framework for this
+// reproduction. The paper's thesis — A64FX results are only trustworthy
+// when the toolchain is interrogated — applies to the repro itself: the
+// golden-file figure suite depends on bit-for-bit determinism, the
+// goroutine-based OMP/MPI runtimes depend on correct synchronization, and
+// the benchmark harness depends on loop results actually being live.
+// Nothing in `go vet` checks any of that, so this package does: a shared
+// Analyzer interface, a module-aware package loader built on go/parser +
+// go/types (chained to the stdlib "source" importer, keeping go.mod
+// dependency-free), and repro-specific analyzers run by cmd/ookami-vet.
+//
+// Findings are suppressed with a `//ookami:nolint <analyzer>` comment on
+// the flagged line or the line directly above it; a bare
+// `//ookami:nolint` suppresses every analyzer. Suppressions should carry
+// a justification in the same comment.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: an analyzer name, a precise position and a
+// human-readable message.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one check. Run inspects a loaded package and returns its
+// findings; the framework handles nolint filtering and ordering.
+type Analyzer interface {
+	// Name is the short identifier used in output and nolint comments.
+	Name() string
+	// Doc is a one-line description of what the analyzer flags.
+	Doc() string
+	// Run analyzes one package unit.
+	Run(p *Package) []Diagnostic
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []Analyzer {
+	return []Analyzer{
+		Determinism{},
+		FloatEq{},
+		SyncHygiene{},
+		BenchHygiene{},
+		ErrcheckLite{},
+	}
+}
+
+// ByName returns the analyzer with the given name.
+func ByName(name string) (Analyzer, bool) {
+	for _, a := range All() {
+		if a.Name() == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// RunAll runs every analyzer over the package, applies nolint
+// suppressions, and returns the findings sorted by position.
+func RunAll(p *Package, analyzers []Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		diags = append(diags, a.Run(p)...)
+	}
+	diags = filterNolint(p, diags)
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// nolintDirective is a parsed //ookami:nolint comment.
+type nolintDirective struct {
+	analyzers map[string]bool // empty = all analyzers
+}
+
+func (n nolintDirective) suppresses(analyzer string) bool {
+	return len(n.analyzers) == 0 || n.analyzers[analyzer]
+}
+
+// nolintIndex maps file -> line -> directives covering that line.
+func nolintIndex(p *Package) map[string]map[int][]nolintDirective {
+	idx := make(map[string]map[int][]nolintDirective)
+	for _, f := range p.AllFiles {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "ookami:nolint") {
+					continue
+				}
+				rest := strings.TrimPrefix(text, "ookami:nolint")
+				d := nolintDirective{analyzers: map[string]bool{}}
+				for _, name := range strings.Fields(rest) {
+					name = strings.Trim(name, ",")
+					if name == "" {
+						continue
+					}
+					// Anything after "--" is justification prose.
+					if name == "--" {
+						break
+					}
+					d.analyzers[name] = true
+				}
+				pos := p.Fset.Position(c.Pos())
+				if idx[pos.Filename] == nil {
+					idx[pos.Filename] = make(map[int][]nolintDirective)
+				}
+				// The directive covers its own line and the next line, so
+				// it can sit at the end of the flagged line or above it.
+				idx[pos.Filename][pos.Line] = append(idx[pos.Filename][pos.Line], d)
+				idx[pos.Filename][pos.Line+1] = append(idx[pos.Filename][pos.Line+1], d)
+			}
+		}
+	}
+	return idx
+}
+
+func filterNolint(p *Package, diags []Diagnostic) []Diagnostic {
+	idx := nolintIndex(p)
+	out := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range idx[d.Pos.Filename][d.Pos.Line] {
+			if dir.suppresses(d.Analyzer) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// pathHasSuffix reports whether the import path matches a configured
+// package suffix, e.g. "ookami/internal/figures" matches
+// "internal/figures". Full equality also matches so that test fixtures
+// can use the bare suffix as their path.
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// isTestFile reports whether the file's basename is a _test.go file.
+func isTestFile(pos token.Position) bool {
+	return strings.HasSuffix(pos.Filename, "_test.go")
+}
+
+// diag builds a Diagnostic at a node's position.
+func (p *Package) diag(analyzer string, n ast.Node, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Pos:      p.Fset.Position(n.Pos()),
+		Message:  fmt.Sprintf(format, args...),
+	}
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// runFixture type-checks in-memory files as one package, runs the given
+// analyzers through RunAll (so nolint filtering applies), and matches the
+// findings against "// want <analyzer>" markers in the sources: every
+// marker must be hit on its line, and no unmarked finding may appear.
+func runFixture(t *testing.T, path string, analyzers []Analyzer, files map[string]string) []Diagnostic {
+	t.Helper()
+	p, err := LoadSource(path, files)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	got := RunAll(p, analyzers)
+
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	want := map[key]int{}
+	for name, src := range files {
+		for i, line := range strings.Split(src, "\n") {
+			_, marker, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, a := range strings.Fields(marker) {
+				want[key{name, i + 1, a}]++
+			}
+		}
+	}
+	for _, d := range got {
+		k := key{d.Pos.Filename, d.Pos.Line, d.Analyzer}
+		if want[k] > 0 {
+			want[k]--
+			if want[k] == 0 {
+				delete(want, k)
+			}
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for k, n := range want {
+		t.Errorf("missing %d diagnostic(s) of %s at %s:%d", n, k.analyzer, k.file, k.line)
+	}
+	return got
+}
+
+func TestAllAnalyzersHaveDistinctNamesAndDocs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name() == "" || a.Doc() == "" {
+			t.Errorf("analyzer %T missing name or doc", a)
+		}
+		if seen[a.Name()] {
+			t.Errorf("duplicate analyzer name %q", a.Name())
+		}
+		seen[a.Name()] = true
+		if got, ok := ByName(a.Name()); !ok || got.Name() != a.Name() {
+			t.Errorf("ByName(%q) failed", a.Name())
+		}
+	}
+	if _, ok := ByName("no-such-analyzer"); ok {
+		t.Error("ByName accepted an unknown name")
+	}
+}
+
+func TestDiagnosticStringFormat(t *testing.T) {
+	p, err := LoadSource("ookami/internal/figures", map[string]string{
+		"gen.go": "package figures\n\nimport \"time\"\n\nfunc Gen() int64 {\n\treturn time.Now().Unix()\n}\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RunAll(p, []Analyzer{Determinism{}})
+	if len(got) != 1 {
+		t.Fatalf("got %d diagnostics, want 1", len(got))
+	}
+	const want = "gen.go:6:9: [determinism] time.Now in golden-producing package ookami/internal/figures makes output depend on the wall clock"
+	if got[0].String() != want {
+		t.Errorf("diagnostic\n got %q\nwant %q", got[0].String(), want)
+	}
+}
+
+func TestNolintSuppression(t *testing.T) {
+	const base = "package figures\n\nimport \"time\"\n\nfunc Gen() int64 {\n%s\n}\n"
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"same line", "\treturn time.Now().Unix() //ookami:nolint determinism", 0},
+		{"line above", "\t//ookami:nolint determinism\n\treturn time.Now().Unix()", 0},
+		{"bare nolint", "\treturn time.Now().Unix() //ookami:nolint", 0},
+		{"with justification", "\treturn time.Now().Unix() //ookami:nolint determinism -- measurement only", 0},
+		{"wrong analyzer", "\treturn time.Now().Unix() //ookami:nolint floateq", 1},
+		{"no directive", "\treturn time.Now().Unix()", 1},
+		{"two lines above is out of range", "\t//ookami:nolint determinism\n\t_ = 0\n\treturn time.Now().Unix()", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := LoadSource("ookami/internal/figures", map[string]string{
+				"gen.go": strings.Replace(base, "%s", tc.body, 1),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := RunAll(p, []Analyzer{Determinism{}}); len(got) != tc.want {
+				t.Errorf("got %d diagnostics, want %d: %v", len(got), tc.want, got)
+			}
+		})
+	}
+}
+
+func TestSortDiagnosticsOrdersByPosition(t *testing.T) {
+	src := map[string]string{
+		"a.go": "package figures\n\nimport \"time\"\n\nfunc A() (int64, int64) {\n\treturn time.Now().Unix(), time.Now().Unix() // want determinism determinism\n}\n",
+		"b.go": "package figures\n\nimport \"time\"\n\nfunc B() int64 {\n\treturn time.Now().Unix() // want determinism\n}\n",
+	}
+	got := runFixture(t, "ookami/internal/figures", []Analyzer{Determinism{}}, src)
+	if len(got) != 3 {
+		t.Fatalf("got %d diagnostics", len(got))
+	}
+	if got[0].Pos.Filename != "a.go" || got[1].Pos.Filename != "a.go" || got[2].Pos.Filename != "b.go" {
+		t.Errorf("file order wrong: %v", got)
+	}
+	if got[0].Pos.Column >= got[1].Pos.Column {
+		t.Errorf("column order wrong: %v then %v", got[0], got[1])
+	}
+}

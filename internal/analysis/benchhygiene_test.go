@@ -1,0 +1,116 @@
+package analysis
+
+import "testing"
+
+const benchFixture = `package harness
+
+import "testing"
+
+func pure(n int) int { return n * 2 }
+
+func fillSum(xs []float64) float64 {
+	for i := range xs {
+		xs[i] = 1
+	}
+	return float64(len(xs))
+}
+
+var sink int
+
+func BenchmarkMissingReportAllocs(b *testing.B) { // want benchhygiene
+	for i := 0; i < b.N; i++ {
+		sink = pure(i)
+	}
+}
+
+func BenchmarkDeadAssignment(b *testing.B) {
+	b.ReportAllocs()
+	x := 1
+	for i := 0; i < b.N; i++ {
+		x = pure(x) // want benchhygiene
+	}
+}
+
+func BenchmarkBlankDiscard(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = pure(i) // want benchhygiene
+	}
+}
+
+func BenchmarkPureCallDropped(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pure(i) // want benchhygiene
+	}
+}
+
+func BenchmarkSliceArgCallDropped(b *testing.B) {
+	xs := make([]float64, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fillSum(xs) // result dropped, but xs carries the side effect: fine
+	}
+}
+
+func BenchmarkProperlySunk(b *testing.B) {
+	b.ReportAllocs()
+	var last int
+	for i := 0; i < b.N; i++ {
+		last = pure(i)
+	}
+	sink = last
+}
+
+func BenchmarkPackageLevelSink(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink = pure(i)
+	}
+}
+
+func BenchmarkAccumulator(b *testing.B) {
+	b.ReportAllocs()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += pure(i) // compound assignment reads its target: sunk
+	}
+	sink = total
+}
+
+func benchHelperAlsoChecked(b *testing.B, n int) { // want benchhygiene
+	for i := 0; i < b.N; i++ {
+		sink = pure(n)
+	}
+}
+
+func BenchmarkNoLoopDelegates(b *testing.B) {
+	benchHelperAlsoChecked(b, 3)
+}
+`
+
+func TestBenchHygieneAnalyzer(t *testing.T) {
+	runFixture(t, "ookami", []Analyzer{BenchHygiene{}}, map[string]string{
+		"bench_test.go": benchFixture,
+	})
+}
+
+func TestBenchHygieneOnlyAuditsBenchFile(t *testing.T) {
+	src := `package harness
+
+import "testing"
+
+func BenchmarkElsewhere(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = i * 2
+	}
+}
+`
+	p, err := LoadSource("ookami", map[string]string{"other_test.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RunAll(p, []Analyzer{BenchHygiene{}}); len(got) != 0 {
+		t.Errorf("file other than bench_test.go audited: %v", got)
+	}
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import "testing"
+
+const determinismFixture = `package figures
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Clock() int64 {
+	return time.Now().Unix() // want determinism
+}
+
+func GlobalRand() float64 {
+	rand.Seed(1)          // want determinism
+	x := rand.Float64()   // want determinism
+	x += rand.NormFloat64() // want determinism
+	return x
+}
+
+func SeededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // seeded local generator: fine
+	return rng.Float64()
+}
+
+func MapRange(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want determinism
+		s += v
+	}
+	return s
+}
+
+func SliceRange(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs { // slices iterate in order: fine
+		s += v
+	}
+	return s
+}
+`
+
+func TestDeterminismAnalyzer(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+	}{
+		{"figures", "ookami/internal/figures"},
+		{"hpcc", "ookami/internal/hpcc"},
+		{"npb", "ookami/internal/npb"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			runFixture(t, tc.path, []Analyzer{Determinism{}}, map[string]string{
+				"gen.go": determinismFixture,
+			})
+		})
+	}
+}
+
+func TestDeterminismIgnoresNonGoldenPackages(t *testing.T) {
+	p, err := LoadSource("ookami/internal/perfmodel", map[string]string{
+		"gen.go": "package perfmodel\n\nimport \"time\"\n\nfunc Clock() int64 { return time.Now().Unix() }\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RunAll(p, []Analyzer{Determinism{}}); len(got) != 0 {
+		t.Errorf("non-golden package flagged: %v", got)
+	}
+}
+
+func TestDeterminismIgnoresTestFiles(t *testing.T) {
+	p, err := LoadSource("ookami/internal/figures", map[string]string{
+		"gen.go":      "package figures\n\nfunc ok() {}\n",
+		"gen_test.go": "package figures\n\nimport \"time\"\n\nfunc clock() int64 { return time.Now().Unix() }\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RunAll(p, []Analyzer{Determinism{}}); len(got) != 0 {
+		t.Errorf("test file flagged: %v", got)
+	}
+}

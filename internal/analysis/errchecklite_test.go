@@ -1,0 +1,61 @@
+package analysis
+
+import "testing"
+
+const errcheckFixture = `package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func write(path string) error {
+	return os.WriteFile(path, nil, 0o644)
+}
+
+func pair() (int, error) { return 0, nil }
+
+func main() {
+	write("out.txt") // want errcheck-lite
+	_ = write("out.txt") // want errcheck-lite
+	n, _ := pair() // want errcheck-lite
+	_ = n
+
+	if err := write("ok.txt"); err != nil {
+		fmt.Println(err)
+	}
+	m, err := pair()
+	_, _ = m, err
+
+	fmt.Println("status")   // Print family: exempt
+	fmt.Printf("%d\n", 1)   // Print family: exempt
+	var sb strings.Builder
+	sb.WriteString("chunk") // never-failing writer: exempt
+	fmt.Println(sb.String())
+}
+`
+
+func TestErrcheckLiteAnalyzer(t *testing.T) {
+	runFixture(t, "ookami/cmd/demo", []Analyzer{ErrcheckLite{}}, map[string]string{
+		"main.go": errcheckFixture,
+	})
+}
+
+func TestErrcheckLiteScopedToCmd(t *testing.T) {
+	src := `package figures
+
+import "os"
+
+func drop() {
+	os.WriteFile("x", nil, 0o644)
+}
+`
+	p, err := LoadSource("ookami/internal/figures", map[string]string{"w.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RunAll(p, []Analyzer{ErrcheckLite{}}); len(got) != 0 {
+		t.Errorf("errcheck-lite leaked outside cmd/: %v", got)
+	}
+}

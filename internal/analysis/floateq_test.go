@@ -1,0 +1,68 @@
+package analysis
+
+import "testing"
+
+const floateqFixture = `package stencil
+
+func Computed(a, b float64) bool {
+	return a == b // want floateq
+}
+
+func ComputedNeq(a, b float32) bool {
+	return a != b // want floateq
+}
+
+func ComplexEq(a, b complex128) bool {
+	return a == b // want floateq
+}
+
+func AgainstConstant(a float64) bool {
+	return a == 57.6 // configured value: exact by construction
+}
+
+func AgainstZero(a float64) bool {
+	return a != 0 // sentinel: exact by construction
+}
+
+func Ints(a, b int) bool {
+	return a == b // not floating point
+}
+
+func Ordered(a, b float64) bool {
+	return a < b || a > b // ordering comparisons are fine
+}
+`
+
+func TestFloatEqAnalyzer(t *testing.T) {
+	runFixture(t, "ookami/internal/stencil", []Analyzer{FloatEq{}}, map[string]string{
+		"cmp.go": floateqFixture,
+	})
+}
+
+func TestFloatEqExemptsUlpHelpersAndTests(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		file string
+		want int
+	}{
+		{"ulp.go in vmath is the approved site", "ookami/internal/vmath", "ulp.go", 0},
+		{"ulp.go elsewhere is not approved", "ookami/internal/blas", "ulp.go", 1},
+		{"other vmath files are checked", "ookami/internal/vmath", "exp.go", 1},
+		{"test files are exempt", "ookami/internal/blas", "cmp_test.go", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg := tc.path[len("ookami/internal/"):]
+			p, err := LoadSource(tc.path, map[string]string{
+				tc.file: "package " + pkg + "\n\nfunc eq(a, b float64) bool { return a == b }\n",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := RunAll(p, []Analyzer{FloatEq{}}); len(got) != tc.want {
+				t.Errorf("got %d diagnostics, want %d: %v", len(got), tc.want, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one analyzable unit: a set of files to report on plus the
+// full type-checked context they live in. A directory can yield up to
+// three units — the plain package, the in-package test files (type-checked
+// together with the plain files, as `go test` compiles them), and the
+// external _test package.
+type Package struct {
+	// Path is the unit's import path ("ookami/internal/mpi"; external
+	// test packages get the "_test" suffix).
+	Path string
+	Fset *token.FileSet
+	// Files are the files analyzers report on.
+	Files []*ast.File
+	// AllFiles is the complete type-checked unit (Files plus any
+	// supporting files); nolint directives are read from here.
+	AllFiles []*ast.File
+	Types    *types.Package
+	Info     *types.Info
+}
+
+// Loader type-checks packages of one module from source. Imports inside
+// the module are resolved by walking the module tree; everything else is
+// delegated to the stdlib "source" importer, so the loader needs no
+// dependencies beyond the standard library.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	cache   map[string]*types.Package
+	loading map[string]bool
+}
+
+// NewLoader creates a loader for the module rooted at moduleRoot, reading
+// the module path from its go.mod.
+func NewLoader(moduleRoot string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(moduleRoot, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", moduleRoot)
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		ModuleRoot: moduleRoot,
+		ModulePath: modPath,
+		fset:       fset,
+		cache:      map[string]*types.Package{},
+		loading:    map[string]bool{},
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// Fset exposes the loader's file set (shared by all loaded packages).
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Import resolves an import path for go/types. Module-internal paths are
+// type-checked from the module tree (memoized, non-test files only);
+// everything else goes to the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path != l.ModulePath && !strings.HasPrefix(path, l.ModulePath+"/") {
+		return l.std.ImportFrom(path, dir, mode)
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	pkgDir := filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath)))
+	base, _, _, err := l.parseDir(pkgDir)
+	if err != nil {
+		return nil, err
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", pkgDir)
+	}
+	pkg, _, err := l.check(path, base)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every .go file of dir into plain, in-package-test and
+// external-test groups, sorted by file name for deterministic output.
+func (l *Loader) parseDir(dir string) (base, intest, xtest []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		switch {
+		case !strings.HasSuffix(name, "_test.go"):
+			base = append(base, f)
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			xtest = append(xtest, f)
+		default:
+			intest = append(intest, f)
+		}
+	}
+	return base, intest, xtest, nil
+}
+
+func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// importPathFor maps a directory under the module root to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// LoadDir loads every analyzable unit of one directory.
+func (l *Loader) LoadDir(dir string) ([]*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	base, intest, xtest, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var units []*Package
+	if len(base) > 0 {
+		pkg, info, err := l.check(path, base)
+		if err != nil {
+			return nil, err
+		}
+		// Cache for importers of this package — but never replace an
+		// entry: every unit must see one identity per imported package,
+		// or types from different check runs fail to unify.
+		if _, ok := l.cache[path]; !ok {
+			l.cache[path] = pkg
+		}
+		units = append(units, &Package{
+			Path: path, Fset: l.fset, Files: base, AllFiles: base, Types: pkg, Info: info,
+		})
+	}
+	if len(intest) > 0 {
+		all := append(append([]*ast.File{}, base...), intest...)
+		pkg, info, err := l.check(path, all)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Package{
+			Path: path, Fset: l.fset, Files: intest, AllFiles: all, Types: pkg, Info: info,
+		})
+	}
+	if len(xtest) > 0 {
+		pkg, info, err := l.check(path+"_test", xtest)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Package{
+			Path: path + "_test", Fset: l.fset, Files: xtest, AllFiles: xtest, Types: pkg, Info: info,
+		})
+	}
+	return units, nil
+}
+
+// LoadSource type-checks in-memory sources as one package — the fixture
+// entry point for analyzer tests. Keys of files are file names; path is
+// the package's import path (pick one that triggers the analyzer's
+// package scoping, e.g. "ookami/internal/mpi").
+func LoadSource(path string, files map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	l := &Loader{
+		ModuleRoot: "/nonexistent",
+		ModulePath: "fixture.invalid", // never matches: all imports go to the source importer
+		fset:       fset,
+		cache:      map[string]*types.Package{},
+		loading:    map[string]bool{},
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	var names []string
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var parsed []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, files[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	pkg, info, err := l.check(path, parsed)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Fset: fset, Files: parsed, AllFiles: parsed, Types: pkg, Info: info}, nil
+}

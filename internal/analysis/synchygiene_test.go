@@ -1,0 +1,93 @@
+package analysis
+
+import "testing"
+
+const syncFixture = `package mpi
+
+import "sync"
+
+func AddInsideGoroutine() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want synchygiene
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func AddBeforeSpawn() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func DoneNotDeferred() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		work()
+		wg.Done() // want synchygiene
+	}()
+	wg.Wait()
+}
+
+func work() {}
+
+func Channels() {
+	a := make(chan int) // want synchygiene
+	b := make(chan int, 4)
+	_ = a
+	_ = b
+}
+`
+
+func TestSyncHygieneAnalyzer(t *testing.T) {
+	runFixture(t, "ookami/internal/mpi", []Analyzer{SyncHygiene{}}, map[string]string{
+		"runtime.go": syncFixture,
+	})
+}
+
+func TestSyncHygieneUnbufferedChanScopedToMPI(t *testing.T) {
+	src := "package omp\n\nfunc ch() chan int { return make(chan int) }\n"
+	p, err := LoadSource("ookami/internal/omp", map[string]string{"ch.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RunAll(p, []Analyzer{SyncHygiene{}}); len(got) != 0 {
+		t.Errorf("unbuffered-channel rule leaked outside internal/mpi: %v", got)
+	}
+}
+
+func TestSyncHygieneWaitGroupRulesApplyEverywhere(t *testing.T) {
+	src := `package omp
+
+import "sync"
+
+func bad() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want synchygiene
+	}()
+	wg.Wait()
+}
+`
+	runFixture(t, "ookami/internal/omp", []Analyzer{SyncHygiene{}}, map[string]string{
+		"p.go": src,
+	})
+}
+
+func TestSyncHygieneSkipsMPITestFilesForChanRule(t *testing.T) {
+	p, err := LoadSource("ookami/internal/mpi", map[string]string{
+		"mpi.go":      "package mpi\n\nfunc ok() {}\n",
+		"mpi_test.go": "package mpi\n\nfunc helper() chan int { return make(chan int) }\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RunAll(p, []Analyzer{SyncHygiene{}}); len(got) != 0 {
+		t.Errorf("test-file channel flagged: %v", got)
+	}
+}

@@ -11,9 +11,12 @@ import (
 	"ookami/internal/rng"
 )
 
-// wallTime measures the wall-clock duration of fn in seconds.
+// wallTime measures the wall-clock duration of fn in seconds. This is
+// the one place the package touches the clock: host measurements
+// (RunStream, RunGUPS) report rates, not golden artifacts — the golden
+// figures only consume the analytical models below.
 func wallTime(fn func()) float64 {
-	t0 := time.Now()
+	t0 := time.Now() //ookami:nolint determinism -- host wall-clock measurement, not golden output
 	fn()
 	return time.Since(t0).Seconds()
 }

@@ -11,8 +11,10 @@ package mpi
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // World is a communicator: `size` ranks with all-to-all mailboxes.
@@ -39,7 +41,7 @@ func Run(size int, fn func(c *Comm)) *World {
 		size:      size,
 		mailboxes: make([][]chan any, size),
 		bytesSent: make([]int64, size),
-		barrier:   newBarrier(size),
+		barrier:   newBarrier(size, timeoutFromEnv()),
 	}
 	for s := range w.mailboxes {
 		w.mailboxes[s] = make([]chan any, size)
@@ -123,8 +125,12 @@ func (c *Comm) RecvF64(src int) []float64 { return c.Recv(src).([]float64) }
 // RecvC128 receives a []complex128 from src.
 func (c *Comm) RecvC128(src int) []complex128 { return c.Recv(src).([]complex128) }
 
-// Barrier synchronizes all ranks.
-func (c *Comm) Barrier() { c.w.barrier.wait() }
+// Barrier synchronizes all ranks. With OOKAMI_MPI_TIMEOUT set (a
+// time.Duration such as "2s"; default off), a barrier that does not
+// complete within the timeout panics with a participant dump naming the
+// ranks that never arrived, instead of hanging the whole suite on one
+// lost rank.
+func (c *Comm) Barrier() { c.w.barrier.wait(c.rank) }
 
 // Bcast distributes root's buf to every rank; non-root ranks return the
 // received copy (binomial-tree pattern, like a real MPI broadcast).
@@ -235,33 +241,90 @@ func (c *Comm) GatherF64(root int, buf []float64) [][]float64 {
 	return nil
 }
 
-// barrier is a reusable sense-reversing barrier.
+// timeoutFromEnv reads OOKAMI_MPI_TIMEOUT. Unset, empty, unparsable or
+// non-positive values disable the deadlock watchdog (the default).
+func timeoutFromEnv() time.Duration {
+	v := os.Getenv("OOKAMI_MPI_TIMEOUT")
+	if v == "" {
+		return 0
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return 0
+	}
+	return d
+}
+
+// barrier is a reusable phase barrier. Each phase has a release channel
+// that the last arriving rank closes; waiting on a closed-only channel
+// (instead of a sync.Cond) is what makes the deadlock watchdog possible,
+// because a channel wait can be raced against a timer.
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	phase int
+	mu      sync.Mutex
+	n       int
+	count   int
+	arrived []bool        // per rank: waiting in the current phase
+	release chan struct{} // closed when the current phase completes
+	timeout time.Duration // 0 = wait forever
 }
 
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
+func newBarrier(n int, timeout time.Duration) *barrier {
+	return &barrier{
+		n:       n,
+		arrived: make([]bool, n),
+		//ookami:nolint synchygiene -- close-only broadcast channel, never sent on
+		release: make(chan struct{}),
+		timeout: timeout,
+	}
 }
 
-func (b *barrier) wait() {
+func (b *barrier) wait(rank int) {
 	b.mu.Lock()
-	phase := b.phase
+	b.arrived[rank] = true
 	b.count++
+	release := b.release
 	if b.count == b.n {
+		// Last rank in: reset for the next phase and release everyone.
 		b.count = 0
-		b.phase++
-		b.cond.Broadcast()
-	} else {
-		for phase == b.phase {
-			b.cond.Wait()
+		for i := range b.arrived {
+			b.arrived[i] = false
 		}
+		//ookami:nolint synchygiene -- close-only broadcast channel, never sent on
+		b.release = make(chan struct{})
+		close(release)
+		b.mu.Unlock()
+		return
 	}
 	b.mu.Unlock()
+
+	if b.timeout <= 0 {
+		<-release
+		return
+	}
+	timer := time.NewTimer(b.timeout)
+	defer timer.Stop()
+	select {
+	case <-release:
+	case <-timer.C:
+		b.mu.Lock()
+		select {
+		case <-release:
+			// Completed in the instant the timer fired: not a deadlock.
+			b.mu.Unlock()
+			return
+		default:
+		}
+		var waiting, missing []int
+		for r, ok := range b.arrived {
+			if ok {
+				waiting = append(waiting, r)
+			} else {
+				missing = append(missing, r)
+			}
+		}
+		b.mu.Unlock()
+		panic(fmt.Sprintf(
+			"mpi: barrier deadlock after %v: waiting rank(s) %v, missing rank(s) %v never arrived",
+			b.timeout, waiting, missing))
+	}
 }

@@ -1,16 +1,21 @@
 package mpi
 
 import (
+	"fmt"
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 
 	"ookami/internal/fft"
+	"ookami/internal/testutil"
 )
 
 func TestRunSpawnsAllRanks(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
 	var count int32
 	w := Run(7, func(c *Comm) {
 		atomic.AddInt32(&count, 1)
@@ -152,6 +157,7 @@ func TestGather(t *testing.T) {
 }
 
 func TestBarrierOrdering(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
 	const size = 6
 	var before, after int32
 	Run(size, func(c *Comm) {
@@ -165,6 +171,80 @@ func TestBarrierOrdering(t *testing.T) {
 	})
 	if after != size {
 		t.Error("not all ranks finished")
+	}
+}
+
+// TestBarrierTimeoutNamesMissingRank provokes a stuck rank: with the
+// watchdog armed, the ranks that did reach the barrier must panic with a
+// participant dump that names the rank that never arrived, instead of
+// hanging the suite.
+func TestBarrierTimeoutNamesMissingRank(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	t.Setenv("OOKAMI_MPI_TIMEOUT", "500ms")
+	var msg atomic.Value
+	var ready int32
+	Run(3, func(c *Comm) {
+		if c.Rank() == 2 {
+			return // rank 2 is "lost" and never reaches the barrier
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				msg.Store(fmt.Sprint(r))
+			}
+		}()
+		// Make sure both surviving ranks are en route to the barrier so
+		// the participant dump is deterministic.
+		atomic.AddInt32(&ready, 1)
+		for atomic.LoadInt32(&ready) < 2 {
+			runtime.Gosched()
+		}
+		c.Barrier()
+		t.Error("barrier returned despite a missing rank")
+	})
+	s, _ := msg.Load().(string)
+	if s == "" {
+		t.Fatal("no deadlock diagnostic raised")
+	}
+	if !strings.Contains(s, "missing rank(s) [2]") {
+		t.Errorf("diagnostic does not name the missing rank: %q", s)
+	}
+	if !strings.Contains(s, "waiting rank(s) [0 1]") {
+		t.Errorf("diagnostic does not list the waiting ranks: %q", s)
+	}
+}
+
+// TestBarrierTimeoutDisabledByDefault checks the watchdog stays off
+// without the env var: barriers complete normally and reuse cleanly.
+func TestBarrierTimeoutDisabledByDefault(t *testing.T) {
+	t.Setenv("OOKAMI_MPI_TIMEOUT", "")
+	b := newBarrier(2, timeoutFromEnv())
+	if b.timeout != 0 {
+		t.Fatalf("timeout %v, want disabled", b.timeout)
+	}
+	t.Setenv("OOKAMI_MPI_TIMEOUT", "not-a-duration")
+	if d := timeoutFromEnv(); d != 0 {
+		t.Fatalf("unparsable timeout yielded %v, want disabled", d)
+	}
+	t.Setenv("OOKAMI_MPI_TIMEOUT", "3s")
+	if d := timeoutFromEnv(); d != 3e9 {
+		t.Fatalf("timeout %v, want 3s", d)
+	}
+}
+
+// TestBarrierWithTimeoutCompletes makes sure an armed watchdog does not
+// fire on barriers that complete, across several reuse phases.
+func TestBarrierWithTimeoutCompletes(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	t.Setenv("OOKAMI_MPI_TIMEOUT", "5s")
+	var phases int32
+	Run(4, func(c *Comm) {
+		for i := 0; i < 10; i++ {
+			c.Barrier()
+		}
+		atomic.AddInt32(&phases, 1)
+	})
+	if phases != 4 {
+		t.Fatalf("%d ranks finished, want 4", phases)
 	}
 }
 

@@ -128,6 +128,7 @@ func makea(n, nonzer int, shift float64, seed uint64) *SparseMatrix {
 	m := &SparseMatrix{N: n, RowPtr: make([]int, n+1)}
 	for i := 0; i < n; i++ {
 		cols := make([]int, 0, len(rows[i]))
+		//ookami:nolint determinism -- keys are sorted on the next line; iteration order cannot leak
 		for c := range rows[i] {
 			cols = append(cols, c)
 		}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"ookami/internal/machine"
+	"ookami/internal/testutil"
 )
 
 func coverageCheck(t *testing.T, team *Team, sched Schedule, chunk int) {
@@ -24,6 +25,7 @@ func coverageCheck(t *testing.T, team *Team, sched Schedule, chunk int) {
 }
 
 func TestAllSchedulesCoverExactlyOnce(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
 	for _, threads := range []int{1, 3, 8} {
 		team := NewTeam(threads)
 		for _, sched := range []Schedule{Static, StaticChunk, Dynamic, Guided} {
@@ -147,6 +149,7 @@ func TestTeamSizeDefaults(t *testing.T) {
 }
 
 func TestParallelRunsEachTidOnce(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
 	team := NewTeam(9)
 	var seen [9]int32
 	team.Parallel(func(tid int) {
@@ -169,6 +172,7 @@ func TestUnknownSchedulePanics(t *testing.T) {
 }
 
 func TestBarrierPhases(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
 	const n = 8
 	b := NewBarrier(n)
 	var phase1 int32

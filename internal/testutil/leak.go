@@ -1,0 +1,38 @@
+// Package testutil holds shared test instrumentation for the simulated
+// runtimes. The OMP and MPI packages spawn real goroutines; a worker
+// that outlives its parallel region or rank function is a bug the race
+// detector cannot see, so their tests assert the goroutine count settles
+// back after every run.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckGoroutineLeak snapshots the goroutine count and registers a
+// cleanup that fails the test if the count has not settled back to the
+// snapshot by the end of the test. Finished goroutines take a moment to
+// be reaped, so the check polls briefly before declaring a leak and
+// attaches a full stack dump when it does.
+func CheckGoroutineLeak(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				buf = buf[:runtime.Stack(buf, true)]
+				t.Errorf("goroutine leak: %d before, %d after\n%s", before, n, buf)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
