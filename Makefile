@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench figures
+.PHONY: build test race vet compilerdiag baseline check bench figures
 
 build:
 	$(GO) build ./...
@@ -17,11 +17,23 @@ vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/ookami-vet ./...
 
+# Diff the compiler's escape/BCE diagnostics for the kernel packages
+# against the checked-in baseline; fails on any new diagnostic in a hot
+# function.
+compilerdiag:
+	$(GO) run ./cmd/ookami-vet -compilerdiag
+
+# Re-record the compilerdiag baseline after an intentional codegen
+# change. The resulting JSON diff is part of the PR under review.
+baseline:
+	$(GO) run ./cmd/ookami-vet -compilerdiag -update-baseline
+
 # The full gate: what a PR must keep green.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) run ./cmd/ookami-vet ./...
+	$(GO) run ./cmd/ookami-vet -compilerdiag
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -2,32 +2,51 @@
 // repro-specific checks (determinism of golden-producing packages, float
 // equality, synchronization hygiene of the simulated runtimes, benchmark
 // harness hygiene, dropped errors in the CLIs) that `go vet` has no
-// opinion on. It exits nonzero when any analyzer reports a finding.
+// opinion on, plus the hot-path performance lints for the kernel
+// packages. It exits nonzero when any analyzer reports a finding.
 //
 // Usage:
 //
-//	ookami-vet [-list] [-only determinism,floateq] [packages]
+//	ookami-vet [-list] [-json] [-only determinism,floateq] [packages]
+//	ookami-vet -compilerdiag [-update-baseline] [-baseline file] [packages]
 //
 // Packages default to ./... resolved against the enclosing module. A
 // finding is suppressed by an `//ookami:nolint <analyzer> -- reason`
 // comment on the flagged line or the line above it.
+//
+// With -compilerdiag, instead of the AST analyzers the command builds
+// the kernel packages with `-gcflags='-m -d=ssa/check_bce/debug=1'`,
+// keeps the escape and bounds-check diagnostics landing in hot
+// functions, and diffs them against the checked-in baseline. Any new
+// diagnostic is a regression and exits nonzero; -update-baseline
+// rewrites the baseline after an intentional change.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"ookami/internal/analysis"
 )
+
+// defaultBaseline is the checked-in compilerdiag baseline, relative to
+// the module root.
+const defaultBaseline = "internal/analysis/baseline/compilerdiag.json"
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ookami-vet: ")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit one finding per line as JSON")
+	compilerDiag := flag.Bool("compilerdiag", false, "diff compiler escape/BCE diagnostics against the baseline instead of running analyzers")
+	updateBaseline := flag.Bool("update-baseline", false, "with -compilerdiag: rewrite the baseline from the current diagnostics")
+	baselinePath := flag.String("baseline", defaultBaseline, "with -compilerdiag: baseline file, relative to the module root")
 	flag.Parse()
 
 	if *list {
@@ -35,6 +54,23 @@ func main() {
 			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
 		}
 		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *compilerDiag {
+		runCompilerDiag(root, flag.Args(), *baselinePath, *updateBaseline)
+		return
+	}
+	if *updateBaseline {
+		log.Fatal("-update-baseline requires -compilerdiag")
 	}
 
 	analyzers := analysis.All()
@@ -49,23 +85,86 @@ func main() {
 		}
 	}
 
-	cwd, err := os.Getwd()
-	if err != nil {
-		log.Fatal(err)
-	}
-	root, err := analysis.FindModuleRoot(cwd)
-	if err != nil {
-		log.Fatal(err)
-	}
 	diags, err := analysis.Vet(root, flag.Args(), analyzers)
 	if err != nil {
 		log.Fatal(err)
 	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
-		fmt.Println(d)
+		if *jsonOut {
+			if err := enc.Encode(jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		log.Printf("%d finding(s)", len(diags))
+		os.Exit(1)
+	}
+}
+
+// jsonFinding is the -json output schema: one object per line (ndjson).
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// runCompilerDiag implements the -compilerdiag mode.
+func runCompilerDiag(root string, patterns []string, baselineRel string, update bool) {
+	findings, err := analysis.RunCompilerDiag(root, patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	goVersion, err := analysis.GoVersion(root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baselineFile := baselineRel
+	if !filepath.IsAbs(baselineFile) {
+		baselineFile = filepath.Join(root, filepath.FromSlash(baselineRel))
+	}
+
+	if update {
+		base := analysis.BuildBaseline(goVersion, patterns, findings)
+		if err := os.MkdirAll(filepath.Dir(baselineFile), 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if err := analysis.SaveBaseline(baselineFile, base); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s: %d entr(ies) from %d finding(s) under %s",
+			baselineRel, len(base.Entries), len(findings), goVersion)
+		return
+	}
+
+	base, err := analysis.LoadBaseline(baselineFile)
+	if err != nil {
+		log.Fatalf("loading baseline: %v (run with -update-baseline to create it)", err)
+	}
+	if base.GoVersion != goVersion {
+		log.Printf("warning: baseline was recorded under %s, running under %s; diagnostics may differ for toolchain reasons",
+			base.GoVersion, goVersion)
+	}
+	regressions, improvements := analysis.DiffBaseline(base, findings)
+	for _, s := range improvements {
+		log.Printf("note: %s", s)
+	}
+	for _, s := range regressions {
+		fmt.Println(s)
+	}
+	if len(regressions) > 0 {
+		log.Printf("%d compiler-diagnostic regression(s); fix the code or record the intent with -update-baseline", len(regressions))
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The CLI contract is exercised by re-executing the test binary as
+// ookami-vet (TestMain dispatches on an env var), so exit codes and
+// stream separation are tested exactly as a caller sees them.
+
+func TestMain(m *testing.M) {
+	if os.Getenv("OOKAMI_VET_BE_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runVet re-executes the test binary as the CLI in dir with args.
+func runVet(t *testing.T, dir string, args ...string) (stdout, stderr string, exitCode int) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "OOKAMI_VET_BE_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err = cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return out.String(), errb.String(), code
+}
+
+// writeModule materializes a temp module with one dirty kernel file.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tempmod\n\ngo 1.22\n",
+		"internal/loops/kernel.go": `package loops
+
+func Kernel(n int) []float64 {
+	var out []float64
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestCLIFindingsExitNonzero(t *testing.T) {
+	root := writeModule(t)
+	stdout, stderr, code := runVet(t, root, "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "hotappend") {
+		t.Errorf("finding missing from stdout:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Errorf("summary missing from stderr:\n%s", stderr)
+	}
+}
+
+func TestCLIJSONOutput(t *testing.T) {
+	root := writeModule(t)
+	stdout, _, code := runVet(t, root, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want exactly one ndjson line, got %d:\n%s", len(lines), stdout)
+	}
+	var f jsonFinding
+	if err := json.Unmarshal([]byte(lines[0]), &f); err != nil {
+		t.Fatalf("line is not valid JSON: %v\n%s", err, lines[0])
+	}
+	if f.Analyzer != "hotappend" || f.File != "internal/loops/kernel.go" || f.Line == 0 || f.Message == "" {
+		t.Errorf("unexpected finding payload: %+v", f)
+	}
+}
+
+func TestCLICleanTreeExitsZero(t *testing.T) {
+	root := writeModule(t)
+	clean := filepath.Join(root, "internal", "loops", "kernel.go")
+	src := `package loops
+
+func Kernel(n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}
+`
+	if err := os.WriteFile(clean, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code := runVet(t, root, "./...")
+	if code != 0 || stdout != "" {
+		t.Errorf("clean tree: code=%d stdout=%q stderr=%q", code, stdout, stderr)
+	}
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	root := writeModule(t)
+	_, stderr, code := runVet(t, root, "-only", "no-such-analyzer", "./...")
+	if code == 0 || !strings.Contains(stderr, "unknown analyzer") {
+		t.Errorf("bad -only: code=%d stderr=%q", code, stderr)
+	}
+	_, stderr, code = runVet(t, root, "-update-baseline", "./...")
+	if code == 0 || !strings.Contains(stderr, "-compilerdiag") {
+		t.Errorf("-update-baseline without -compilerdiag: code=%d stderr=%q", code, stderr)
+	}
+	_, stderr, code = runVet(t, root, "-compilerdiag", "./internal/loops")
+	if code == 0 || !strings.Contains(stderr, "baseline") {
+		t.Errorf("missing baseline should fail: code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestCLICompilerDiagRoundtrip(t *testing.T) {
+	root := writeModule(t)
+	_, stderr, code := runVet(t, root, "-compilerdiag", "-update-baseline", "./internal/loops")
+	if code != 0 {
+		t.Fatalf("-update-baseline failed: %s", stderr)
+	}
+	stdout, stderr, code := runVet(t, root, "-compilerdiag", "./internal/loops")
+	if code != 0 {
+		t.Fatalf("clean diff failed: code=%d stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	// Inject an escape into the hot function and require exit 1.
+	kernel := filepath.Join(root, "internal", "loops", "kernel.go")
+	src := `package loops
+
+func Kernel(n int) []float64 {
+	var out []float64
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}
+
+func Leak(n int) *int {
+	x := n
+	return &x
+}
+`
+	if err := os.WriteFile(kernel, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, _, code = runVet(t, root, "-compilerdiag", "./internal/loops")
+	if code != 1 {
+		t.Fatalf("regression not detected: code=%d stdout=%q", code, stdout)
+	}
+	if !strings.Contains(stdout, "escape") || !strings.Contains(stdout, "Leak") {
+		t.Errorf("regression report incomplete:\n%s", stdout)
+	}
+}
+
+func TestCLIListMentionsEveryAnalyzer(t *testing.T) {
+	root := writeModule(t)
+	stdout, _, code := runVet(t, root, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"determinism", "hotalloc", "hotappend", "hotdefer", "hotiface", "hotreduce"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list missing %s:\n%s", name, stdout)
+		}
+	}
+}

@@ -10,9 +10,11 @@
 // dependency-free), and repro-specific analyzers run by cmd/ookami-vet.
 //
 // Findings are suppressed with a `//ookami:nolint <analyzer>` comment on
-// the flagged line or the line directly above it; a bare
-// `//ookami:nolint` suppresses every analyzer. Suppressions should carry
-// a justification in the same comment.
+// the flagged line or the line directly above it; the directive also
+// covers the full extent of the (simple) statement it annotates, so
+// multi-line calls, table literals and stored closures stay suppressed
+// however gofmt wraps them. A bare `//ookami:nolint` suppresses every
+// analyzer. Suppressions should carry a justification after `--`.
 package analysis
 
 import (
@@ -55,6 +57,11 @@ func All() []Analyzer {
 		SyncHygiene{},
 		BenchHygiene{},
 		ErrcheckLite{},
+		HotAlloc{},
+		HotAppend{},
+		HotDefer{},
+		HotIface{},
+		HotReduce{},
 	}
 }
 
@@ -107,7 +114,18 @@ func (n nolintDirective) suppresses(analyzer string) bool {
 }
 
 // nolintIndex maps file -> line -> directives covering that line.
+//
+// A directive covers its own line and the next line (so it can sit at
+// the end of the flagged line or on the line above), and additionally
+// the full extent of any statement starting on either of those lines.
+// That makes suppression position-robust: a directive on the first line
+// of a multi-line statement — a call with wrapped arguments, a
+// table-driven composite literal, a stored closure — suppresses
+// findings reported anywhere inside it. Compound statements (for, if,
+// switch, select, labeled loops) are covered header-only, so a
+// directive on a loop never blankets its whole body.
 func nolintIndex(p *Package) map[string]map[int][]nolintDirective {
+	starts := stmtStartIndex(p)
 	idx := make(map[string]map[int][]nolintDirective)
 	for _, f := range p.AllFiles {
 		for _, cg := range f.Comments {
@@ -134,14 +152,71 @@ func nolintIndex(p *Package) map[string]map[int][]nolintDirective {
 				if idx[pos.Filename] == nil {
 					idx[pos.Filename] = make(map[int][]nolintDirective)
 				}
-				// The directive covers its own line and the next line, so
-				// it can sit at the end of the flagged line or above it.
-				idx[pos.Filename][pos.Line] = append(idx[pos.Filename][pos.Line], d)
-				idx[pos.Filename][pos.Line+1] = append(idx[pos.Filename][pos.Line+1], d)
+				cover := map[int]bool{pos.Line: true, pos.Line + 1: true}
+				for _, base := range []int{pos.Line, pos.Line + 1} {
+					for _, s := range starts[pos.Filename][base] {
+						lo, hi := stmtExtent(p.Fset, s)
+						for ln := lo; ln <= hi; ln++ {
+							cover[ln] = true
+						}
+					}
+				}
+				for ln := range cover {
+					idx[pos.Filename][ln] = append(idx[pos.Filename][ln], d)
+				}
 			}
 		}
 	}
 	return idx
+}
+
+// stmtStartIndex maps file -> line -> statements starting on that line,
+// including statements nested inside function literals.
+func stmtStartIndex(p *Package) map[string]map[int][]ast.Stmt {
+	idx := make(map[string]map[int][]ast.Stmt)
+	for _, f := range p.AllFiles {
+		fname := p.Fset.Position(f.Pos()).Filename
+		if idx[fname] == nil {
+			idx[fname] = make(map[int][]ast.Stmt)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if s, ok := n.(ast.Stmt); ok {
+				line := p.Fset.Position(s.Pos()).Line
+				idx[fname][line] = append(idx[fname][line], s)
+			}
+			return true
+		})
+	}
+	return idx
+}
+
+// stmtExtent returns the inclusive line range a nolint directive on the
+// statement's first line should cover. Simple statements cover their
+// full source extent; compound statements cover only their header (up
+// to the opening brace of the body) so suppression stays targeted.
+func stmtExtent(fset *token.FileSet, s ast.Stmt) (lo, hi int) {
+	lo = fset.Position(s.Pos()).Line
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		return lo, fset.Position(s.Body.Lbrace).Line
+	case *ast.RangeStmt:
+		return lo, fset.Position(s.Body.Lbrace).Line
+	case *ast.IfStmt:
+		return lo, fset.Position(s.Body.Lbrace).Line
+	case *ast.SwitchStmt:
+		return lo, fset.Position(s.Body.Lbrace).Line
+	case *ast.TypeSwitchStmt:
+		return lo, fset.Position(s.Body.Lbrace).Line
+	case *ast.SelectStmt:
+		return lo, fset.Position(s.Body.Lbrace).Line
+	case *ast.LabeledStmt:
+		_, hi = stmtExtent(fset, s.Stmt)
+		return lo, hi
+	case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+		return lo, lo
+	default:
+		return lo, fset.Position(s.End()).Line
+	}
 }
 
 func filterNolint(p *Package, diags []Diagnostic) []Diagnostic {

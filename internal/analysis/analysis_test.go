@@ -117,6 +117,127 @@ func TestNolintSuppression(t *testing.T) {
 	}
 }
 
+// TestNolintStatementExtent covers the position-robust suppression
+// rules: a directive annotating a statement extends over the whole
+// statement (multi-line calls, table literals, closures), works on
+// statements inside closures, and compound-statement directives cover
+// only the header, never the loop body.
+func TestNolintStatementExtent(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{
+			// The finding is on the time.Now() call two lines below the
+			// directive, but still inside the annotated statement.
+			name: "multi-line call covered by directive above",
+			src: `package figures
+
+import "time"
+
+func Gen() []int64 {
+	//ookami:nolint determinism -- stamping is the point here
+	return []int64{
+		time.Now().Unix(),
+		time.Now().UnixNano(),
+	}
+}
+`,
+			want: 0,
+		},
+		{
+			name: "table-driven literal covered by directive on assignment",
+			src: `package figures
+
+import "time"
+
+func Gen() []int64 {
+	rows := []int64{ //ookami:nolint determinism -- fixture rows
+		time.Now().Unix(),
+		time.Now().UnixNano(),
+	}
+	return rows
+}
+`,
+			want: 0,
+		},
+		{
+			name: "statement inside a closure annotated directly",
+			src: `package figures
+
+import "time"
+
+func Gen() func() int64 {
+	return func() int64 {
+		//ookami:nolint determinism -- wall clock wanted
+		return time.Now().Unix()
+	}
+}
+`,
+			want: 0,
+		},
+		{
+			name: "stored closure covered by directive on the assignment",
+			src: `package figures
+
+import "time"
+
+func Gen() int64 {
+	//ookami:nolint determinism -- measurement helper
+	f := func() int64 {
+		return time.Now().Unix()
+	}
+	return f()
+}
+`,
+			want: 0,
+		},
+		{
+			name: "directive on a for header does not blanket the body",
+			src: `package figures
+
+import "time"
+
+func Gen(n int) int64 {
+	var s int64
+	//ookami:nolint determinism
+	for i := 0; i < n; i++ {
+		s += time.Now().Unix()
+	}
+	return s
+}
+`,
+			want: 1,
+		},
+		{
+			name: "finding on the line after the annotated statement stays",
+			src: `package figures
+
+import "time"
+
+func Gen() int64 {
+	//ookami:nolint determinism
+	_ = 0
+	return time.Now().Unix()
+}
+`,
+			want: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := LoadSource("ookami/internal/figures", map[string]string{"gen.go": tc.src})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := RunAll(p, []Analyzer{Determinism{}}); len(got) != tc.want {
+				t.Errorf("got %d diagnostics, want %d: %v", len(got), tc.want, got)
+			}
+		})
+	}
+}
+
 func TestSortDiagnosticsOrdersByPosition(t *testing.T) {
 	src := map[string]string{
 		"a.go": "package figures\n\nimport \"time\"\n\nfunc A() (int64, int64) {\n\treturn time.Now().Unix(), time.Now().Unix() // want determinism determinism\n}\n",

@@ -1,0 +1,330 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFirstFunc parses src and builds the CFG of its first function.
+func buildFirstFunc(t *testing.T, src string) (*Graph, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return New(fd.Body), fset
+		}
+	}
+	t.Fatal("no function in fixture")
+	return nil, nil
+}
+
+// TestGoldenCFGs pins the exact block structure for each control
+// construct. The golden strings are the contract the hot-path analyzers
+// build on: body blocks of loops must be reachable from their heads and
+// on a cycle, exits of breaks must bypass the cycle.
+func TestGoldenCFGs(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{
+			name: "if-else",
+			src: `package p
+func f(a int) int {
+	x := 0
+	if a > 0 {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`,
+			want: `b0 entry: -> b2
+b1 exit: -> none
+b2 body: {x := 0} {a > 0} -> b4 b5
+b3 if.after: {return x} -> b1
+b4 if.then: {x = 1} -> b3
+b5 if.else: {x = 2} -> b3
+`,
+		},
+		{
+			name: "for-with-post",
+			src: `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`,
+			want: `b0 entry: -> b2
+b1 exit: -> none
+b2 body: {s := 0} {i := 0} -> b3
+b3 for.head: {i < n} -> b4 b5
+b4 for.body: {s += i} -> b6
+b5 for.after: {return s} -> b1
+b6 for.post: {i++} -> b3
+`,
+		},
+		{
+			name: "range",
+			src: `package p
+func f(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}`,
+			want: `b0 entry: -> b2
+b1 exit: -> none
+b2 body: {s := 0} {xs} -> b3
+b3 range.head: {_} {v} -> b4 b5
+b4 range.body: {s += v} -> b3
+b5 range.after: {return s} -> b1
+`,
+		},
+		{
+			name: "switch-fallthrough-default",
+			src: `package p
+func f(a int) int {
+	switch a {
+	case 1:
+		a = 10
+		fallthrough
+	case 2:
+		a = 20
+	default:
+		a = 30
+	}
+	return a
+}`,
+			want: `b0 entry: -> b2
+b1 exit: -> none
+b2 body: {a} -> b4 b6 b8
+b3 switch.after: {return a} -> b1
+b4 switch.case: {1} -> b5
+b5 switch.case.body: {a = 10} {fallthrough} -> b7
+b6 switch.case: {2} -> b7
+b7 switch.case.body: {a = 20} -> b3
+b8 switch.default: -> b9
+b9 switch.default.body: {a = 30} -> b3
+`,
+		},
+		{
+			name: "select",
+			src: `package p
+func f(c, d chan int) int {
+	x := 0
+	select {
+	case v := <-c:
+		x = v
+	case d <- 1:
+		x = 2
+	default:
+		x = 3
+	}
+	return x
+}`,
+			want: `b0 entry: -> b2
+b1 exit: -> none
+b2 body: {x := 0} -> b4 b5 b6
+b3 select.after: {return x} -> b1
+b4 select.case: {v := <-c} {x = v} -> b3
+b5 select.case: {d <- 1} {x = 2} -> b3
+b6 select.default: {x = 3} -> b3
+`,
+		},
+		{
+			name: "labeled-break-and-continue",
+			src: `package p
+func f(n int) int {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue outer
+			}
+			if s > 100 {
+				break outer
+			}
+			s++
+		}
+	}
+	return s
+}`,
+			want: `b0 entry: -> b2
+b1 exit: -> none
+b2 body: {s := 0} -> b3
+b3 label.outer: {i := 0} -> b4
+b4 for.head: {i < n} -> b5 b6
+b5 for.body: {j := 0} -> b8
+b6 for.after: {return s} -> b1
+b7 for.post: {i++} -> b4
+b8 for.head: {j < n} -> b9 b10
+b9 for.body: {j == i} -> b13 b12
+b10 for.after: -> b7
+b11 for.post: {j++} -> b8
+b12 if.after: {s > 100} -> b15 b14
+b13 if.then: {continue outer} -> b7
+b14 if.after: {s++} -> b11
+b15 if.then: {break outer} -> b6
+`,
+		},
+		{
+			name: "goto-loop",
+			src: `package p
+func f(n int) int {
+	i := 0
+loop:
+	i++
+	if i < n {
+		goto loop
+	}
+	return i
+}`,
+			want: `b0 entry: -> b2
+b1 exit: -> none
+b2 body: {i := 0} -> b3
+b3 label.loop: {i++} -> b4
+b4 label.loop.after: {i < n} -> b6 b5
+b5 if.after: {return i} -> b1
+b6 if.then: {goto loop} -> b3
+`,
+		},
+		{
+			name: "infinite-for-with-break",
+			src: `package p
+func f() int {
+	x := 0
+	for {
+		x++
+		if x > 3 {
+			break
+		}
+	}
+	return x
+}`,
+			want: `b0 entry: -> b2
+b1 exit: -> none
+b2 body: {x := 0} -> b3
+b3 for.head: -> b4
+b4 for.body: {x++} {x > 3} -> b7 b6
+b5 for.after: {return x} -> b1
+b6 if.after: -> b3
+b7 if.then: {break} -> b5
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, fset := buildFirstFunc(t, tc.src)
+			got := g.Format(fset)
+			if got != tc.want {
+				t.Errorf("CFG mismatch:\n got:\n%s\nwant:\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestInCycle checks loop membership on the shapes the analyzers rely
+// on: for/range bodies and goto loops cycle, straight-line code and
+// code after the loop do not.
+func TestInCycle(t *testing.T) {
+	src := `package p
+func f(n int, xs []int) int {
+	before := 0
+	for i := 0; i < n; i++ {
+		inloop := i
+		_ = inloop
+	}
+	for _, v := range xs {
+		_ = v
+	}
+	after := 0
+	return after + before
+}`
+	g, _ := buildFirstFunc(t, src)
+	cyc := g.InCycle()
+	byKind := map[string]bool{}
+	for _, b := range g.Blocks {
+		if cyc[b] {
+			byKind[b.Kind] = true
+		}
+	}
+	for _, kind := range []string{"for.head", "for.body", "for.post", "range.head", "range.body"} {
+		if !byKind[kind] {
+			t.Errorf("%s block not detected as cyclic", kind)
+		}
+	}
+	for _, kind := range []string{"entry", "exit", "body", "for.after", "range.after"} {
+		if byKind[kind] {
+			t.Errorf("%s block wrongly detected as cyclic", kind)
+		}
+	}
+
+	// A goto loop must cycle even though no for statement exists.
+	gotoSrc := `package p
+func f(n int) int {
+	i := 0
+loop:
+	i++
+	if i < n {
+		goto loop
+	}
+	return i
+}`
+	g, _ = buildFirstFunc(t, gotoSrc)
+	cyc = g.InCycle()
+	found := false
+	for _, b := range g.Blocks {
+		if b.Kind == "label.loop" && cyc[b] {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("goto loop not detected as cyclic")
+	}
+}
+
+// TestNilBody covers declarations without bodies.
+func TestNilBody(t *testing.T) {
+	g := New(nil)
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Errorf("nil body should be entry->exit, got %s", g.Format(token.NewFileSet()))
+	}
+}
+
+// TestEveryStatementLandsInAGraphBlock guards against the builder
+// dropping statements: every simple statement of the source must appear
+// in some block (unreachable code included).
+func TestEveryStatementLandsInAGraphBlock(t *testing.T) {
+	src := `package p
+func f(n int) int {
+	x := 0
+	for {
+		x++
+		break
+		x-- // unreachable, still analyzed
+	}
+	switch {
+	case n > 0:
+		x += n
+	}
+	return x
+}`
+	g, fset := buildFirstFunc(t, src)
+	rendered := g.Format(fset)
+	for _, want := range []string{"x := 0", "x++", "break", "x--", "x += n", "return x", "unreachable"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("statement %q missing from graph:\n%s", want, rendered)
+		}
+	}
+}

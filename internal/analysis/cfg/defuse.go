@@ -1,0 +1,176 @@
+// Def-use collection: which sites define each local variable, with the
+// defining right-hand side when it is syntactically evident. The
+// hot-path analyzers use this to answer questions like "was this
+// append-grown slice ever given a capacity" and "is this function value
+// a devirtualizable local closure" without re-walking the AST.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DefKind classifies how a definition site binds its variable.
+type DefKind int
+
+const (
+	// DefDecl is a `var x T` or `var x = e` declaration (or `x := e`).
+	DefDecl DefKind = iota
+	// DefAssign is a plain `x = e` assignment.
+	DefAssign
+	// DefUpdate rewrites the variable from its own previous value
+	// (`x += e`, `x++`, `x = append(x, ...)` is *not* special-cased here).
+	DefUpdate
+	// DefParam binds a parameter, result or receiver at function entry.
+	DefParam
+	// DefRange binds a range key/value each iteration.
+	DefRange
+)
+
+// Def is one definition site of a variable.
+type Def struct {
+	Kind DefKind
+	// Node is the statement or spec performing the definition.
+	Node ast.Node
+	// Rhs is the defining expression when the assignment is 1:1
+	// (x := e, x = e, var x = e); nil for zero-value declarations,
+	// multi-value assignments, parameters and range bindings.
+	Rhs ast.Expr
+}
+
+// DefUse indexes the definition and use sites of every variable object
+// appearing under one function, including inside nested function
+// literals (a closure writing a captured variable is a definition of
+// that variable).
+type DefUse struct {
+	Defs map[types.Object][]Def
+	Uses map[types.Object][]*ast.Ident
+}
+
+// Collect builds the def-use index for root (typically a *ast.FuncDecl
+// or *ast.FuncLit; any subtree works).
+func Collect(info *types.Info, root ast.Node) *DefUse {
+	du := &DefUse{
+		Defs: map[types.Object][]Def{},
+		Uses: map[types.Object][]*ast.Ident{},
+	}
+	// Written identifiers are recorded as defs below; everything else
+	// resolving to a variable is a use.
+	written := map[*ast.Ident]bool{}
+
+	addDef := func(id *ast.Ident, d Def) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			du.Defs[v] = append(du.Defs[v], d)
+			written[id] = true
+		}
+	}
+
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			kind := DefAssign
+			switch {
+			case n.Tok == token.DEFINE:
+				kind = DefDecl
+			case n.Tok != token.ASSIGN:
+				kind = DefUpdate // +=, -=, ...
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue // selector/index writes are not var defs
+				}
+				var rhs ast.Expr
+				if kind != DefUpdate && len(n.Lhs) == len(n.Rhs) {
+					rhs = n.Rhs[i]
+				}
+				addDef(id, Def{Kind: kind, Node: n, Rhs: rhs})
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				var rhs ast.Expr
+				if len(n.Values) == len(n.Names) {
+					rhs = n.Values[i]
+				}
+				addDef(id, Def{Kind: DefDecl, Node: n, Rhs: rhs})
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok {
+				addDef(id, Def{Kind: DefUpdate, Node: n})
+			}
+		case *ast.RangeStmt:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				addDef(id, Def{Kind: DefRange, Node: n})
+			}
+			if id, ok := n.Value.(*ast.Ident); ok {
+				addDef(id, Def{Kind: DefRange, Node: n})
+			}
+		case *ast.FuncDecl:
+			for _, f := range fieldIdents(n.Recv, n.Type.Params, n.Type.Results) {
+				addDef(f, Def{Kind: DefParam, Node: n.Type})
+			}
+		case *ast.FuncLit:
+			for _, f := range fieldIdents(n.Type.Params, n.Type.Results) {
+				addDef(f, Def{Kind: DefParam, Node: n.Type})
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(root, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || written[id] {
+			return true
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			du.Uses[v] = append(du.Uses[v], id)
+		}
+		return true
+	})
+	return du
+}
+
+// SoleFuncLit reports whether obj has exactly one definition, a
+// function literal, and is never reassigned — the shape the compiler
+// devirtualizes, so calls through it are effectively direct.
+func (du *DefUse) SoleFuncLit(obj types.Object) (*ast.FuncLit, bool) {
+	defs := du.Defs[obj]
+	var lit *ast.FuncLit
+	for _, d := range defs {
+		if d.Kind == DefParam || d.Kind == DefRange || d.Kind == DefUpdate {
+			return nil, false
+		}
+		l, ok := ast.Unparen(d.Rhs).(*ast.FuncLit)
+		if !ok && d.Rhs != nil {
+			return nil, false
+		}
+		if l != nil {
+			if lit != nil {
+				return nil, false
+			}
+			lit = l
+		}
+	}
+	return lit, lit != nil
+}
+
+func fieldIdents(lists ...*ast.FieldList) []*ast.Ident {
+	var out []*ast.Ident
+	for _, fl := range lists {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			out = append(out, f.Names...)
+		}
+	}
+	return out
+}

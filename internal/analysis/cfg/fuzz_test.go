@@ -1,0 +1,64 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// FuzzCFGNeverPanics feeds arbitrary source through the parser and, for
+// everything parseable, builds the CFG of every function declaration and
+// literal. The builder's contract is totality: broken labels, orphan
+// branches and unreachable code must degrade gracefully, never panic.
+// InCycle and Format run too so traversal stays total as well.
+func FuzzCFGNeverPanics(f *testing.F) {
+	seeds := []string{
+		"package p\nfunc f() {}",
+		"package p\nfunc f(n int) { for i := 0; i < n; i++ { continue } }",
+		"package p\nfunc f() { for { break } }",
+		"package p\nfunc f(xs []int) { for _, v := range xs { _ = v } }",
+		"package p\nfunc f(a int) { switch a { case 1: fallthrough; case 2: default: } }",
+		"package p\nfunc f(c chan int) { select { case <-c: default: } }",
+		"package p\nfunc f() { L: for { for { break L } } }",
+		"package p\nfunc f() { goto missing }",
+		"package p\nfunc f() { break }",
+		"package p\nfunc f() { continue }",
+		"package p\nfunc f() { fallthrough }",
+		"package p\nfunc f(n int) { i := 0\nloop:\n\ti++\n\tif i < n { goto loop } }",
+		"package p\nfunc f() { defer func() { recover() }() }",
+		"package p\nfunc f() { go func() { for {} }() }",
+		"package p\nfunc f() { x := func() int { return 1 }; _ = x() }",
+		"package p\nfunc f() { L: { goto L } }",
+		"package p\nfunc f() { select {} }",
+		"package p\nfunc f(a any) { switch a.(type) { case int: } }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.SkipObjectResolution)
+		if err != nil {
+			t.Skip()
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			g := New(body)
+			g.InCycle()
+			_ = g.Format(fset)
+			if len(g.Blocks) < 2 || g.Entry != g.Blocks[0] || g.Exit != g.Blocks[1] {
+				t.Fatalf("malformed graph for %q", src)
+			}
+			return true
+		})
+	})
+}

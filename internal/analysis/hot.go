@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// KernelPackages are the packages holding the paper's performance
+// kernels — the code whose emitted shape (vectorizability, allocation
+// behaviour, bounds checks) the reproduction's credibility rests on.
+// Every function in them is hot by default; setup and assembly code
+// opts out with a `//ookami:cold` marker in its doc comment.
+var KernelPackages = []string{
+	"internal/blas",
+	"internal/fft",
+	"internal/hpcc",
+	"internal/loops",
+	"internal/lulesh",
+	"internal/npb",
+	"internal/stencil",
+	"internal/vmath",
+}
+
+// IsKernelPackage reports whether an import path names one of the
+// kernel packages (external test packages included).
+func IsKernelPackage(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	for _, k := range KernelPackages {
+		if pathHasSuffix(path, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcMarker scans a declaration's doc comment for //ookami:hot or
+// //ookami:cold markers, returning "hot", "cold" or "".
+func funcMarker(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		switch {
+		case text == "ookami:hot" || strings.HasPrefix(text, "ookami:hot "):
+			return "hot"
+		case text == "ookami:cold" || strings.HasPrefix(text, "ookami:cold "):
+			return "cold"
+		}
+	}
+	return ""
+}
+
+// HotFuncDecl reports whether a function declaration is on the hot
+// path: explicitly marked //ookami:hot anywhere, or any unmarked
+// function of a kernel package (//ookami:cold opts out).
+func HotFuncDecl(pkgPath string, fd *ast.FuncDecl) bool {
+	switch funcMarker(fd.Doc) {
+	case "hot":
+		return true
+	case "cold":
+		return false
+	}
+	return IsKernelPackage(pkgPath)
+}
+
+// hotFuncDecls returns the hot function declarations of the package's
+// non-test files.
+func hotFuncDecls(p *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		if isTestFile(p.Fset.Position(f.Pos())) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if HotFuncDecl(p.Path, fd) {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// FuncDisplayName renders a declaration's name for diagnostics:
+// "Name" for plain functions, "Recv.Name" for methods.
+func FuncDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

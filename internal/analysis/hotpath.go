@@ -1,0 +1,553 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ookami/internal/analysis/cfg"
+)
+
+// The hot-path analyzer suite. The paper's codegen studies ("A64FX —
+// Your Compiler You Must Decide!", the ECM SpMV analysis) show the same
+// loop source landing anywhere on the roofline depending on what the
+// compiler emits; the Go analogue is a kernel loop silently growing a
+// heap allocation, an interface dispatch or a defer. These analyzers
+// run over hot functions — every function of a kernel package
+// (internal/loops, npb, lulesh, hpcc, vmath, stencil, blas, fft)
+// unless marked //ookami:cold, plus any function marked //ookami:hot
+// elsewhere — and use the internal/analysis/cfg layer so that loop
+// membership means "on a CFG cycle", which survives labeled breaks,
+// goto loops and code after unconditional jumps.
+
+// forEachCycleNode walks every hot declaration of p, building CFGs for
+// the declaration body and every nested function literal, and calls fn
+// for each shallow node lying in a block on a cycle — i.e. every node
+// that can execute more than once per call. parent is the node's
+// immediate parent within the walk (nil at block level); du is the
+// declaration-wide def-use index. Function literal bodies are separate
+// CFG units; the literal itself is reported at its creation site.
+func forEachCycleNode(p *Package, fn func(fd *ast.FuncDecl, du *cfg.DefUse, n, parent ast.Node)) {
+	for _, fd := range hotFuncDecls(p) {
+		du := cfg.Collect(p.Info, fd)
+		var unit func(body *ast.BlockStmt)
+		unit = func(body *ast.BlockStmt) {
+			g := cfg.New(body)
+			cyc := g.InCycle()
+			var nested []*ast.FuncLit
+			for _, b := range g.Blocks {
+				inCycle := cyc[b]
+				for _, root := range b.Nodes {
+					walkShallow(root, func(n, parent ast.Node) bool {
+						if lit, ok := n.(*ast.FuncLit); ok {
+							nested = append(nested, lit)
+							if inCycle {
+								fn(fd, du, lit, parent)
+							}
+							return false
+						}
+						if inCycle {
+							fn(fd, du, n, parent)
+						}
+						return true
+					})
+				}
+			}
+			for _, lit := range nested {
+				unit(lit.Body)
+			}
+		}
+		unit(fd.Body)
+	}
+}
+
+// walkShallow is ast.Inspect with parent tracking. Returning false from
+// fn skips the node's children.
+func walkShallow(root ast.Node, fn func(n, parent ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		var parent ast.Node
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		if !fn(n, parent) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// isBuiltin reports whether a call invokes the named builtin.
+func isBuiltin(p *Package, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isConversion reports whether the call expression is a type conversion.
+func isConversion(p *Package, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// ---------------------------------------------------------------------
+// hotalloc: heap allocation inside hot loops.
+
+// HotAlloc flags allocation sites — make, new, slice/map composite
+// literals, address-taken composite literals and escaping closure
+// creation — inside loops of hot functions. An allocation per kernel
+// iteration turns an arithmetic loop into an allocator benchmark and
+// defeats vectorization.
+type HotAlloc struct{}
+
+// Name implements Analyzer.
+func (HotAlloc) Name() string { return "hotalloc" }
+
+// Doc implements Analyzer.
+func (HotAlloc) Doc() string {
+	return "flags make/new/composite-literal/closure allocations inside hot kernel loops"
+}
+
+// Run implements Analyzer.
+func (HotAlloc) Run(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	forEachCycleNode(p, func(fd *ast.FuncDecl, _ *cfg.DefUse, n, parent ast.Node) {
+		name := FuncDisplayName(fd)
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(p, n, "make"):
+				diags = append(diags, p.diag(HotAlloc{}.Name(), n,
+					"make inside a loop of hot function %s allocates every iteration; hoist it out and reuse the buffer", name))
+			case isBuiltin(p, n, "new"):
+				diags = append(diags, p.diag(HotAlloc{}.Name(), n,
+					"new inside a loop of hot function %s allocates every iteration; hoist it out", name))
+			}
+		case *ast.CompositeLit:
+			t := p.Info.TypeOf(n)
+			if t == nil {
+				return
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				diags = append(diags, p.diag(HotAlloc{}.Name(), n,
+					"%s literal inside a loop of hot function %s allocates its backing store every iteration; hoist it out",
+					litKind(t), name))
+			}
+			if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if _, isStructish := t.Underlying().(*types.Struct); isStructish {
+					diags = append(diags, p.diag(HotAlloc{}.Name(), u,
+						"&composite literal inside a loop of hot function %s may escape and allocate every iteration", name))
+				}
+			}
+		case *ast.FuncLit:
+			// Closures passed straight into a call (the omp parallel-for
+			// idiom) or invoked in place are amortized or inlined; flag
+			// only closures that are stored, which escape per iteration.
+			if _, ok := parent.(*ast.CallExpr); ok {
+				return
+			}
+			diags = append(diags, p.diag(HotAlloc{}.Name(), n,
+				"closure created and stored inside a loop of hot function %s escapes and allocates every iteration", name))
+		}
+	})
+	return diags
+}
+
+func litKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}
+
+// ---------------------------------------------------------------------
+// hotappend: append growth without preallocation.
+
+// HotAppend flags self-growing append calls (x = append(x, ...)) inside
+// hot loops when every definition of x in the function lacks capacity —
+// the repeated-doubling pattern that reallocates and copies O(log n)
+// times. Reuse idioms (x = x[:0]) and capacitized makes are recognized
+// as preallocation.
+type HotAppend struct{}
+
+// Name implements Analyzer.
+func (HotAppend) Name() string { return "hotappend" }
+
+// Doc implements Analyzer.
+func (HotAppend) Doc() string {
+	return "flags append-grown slices in hot loops that were never preallocated"
+}
+
+// Run implements Analyzer.
+func (HotAppend) Run(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	forEachCycleNode(p, func(fd *ast.FuncDecl, du *cfg.DefUse, n, _ ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltin(p, call, "append") || len(call.Args) == 0 {
+			return
+		}
+		target, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return // selector/index targets: definitions not tracked
+		}
+		obj, _ := p.Info.Uses[target].(*types.Var)
+		if obj == nil {
+			return
+		}
+		verdict := appendTargetVerdict(p, du, obj)
+		if verdict == "" {
+			return
+		}
+		diags = append(diags, p.diag(HotAppend{}.Name(), call,
+			"append grows %s inside a loop of hot function %s but %s; preallocate (make(T, 0, n)) or reuse a buffer (x = x[:0])",
+			target.Name, FuncDisplayName(fd), verdict))
+	})
+	return diags
+}
+
+// appendTargetVerdict inspects the definitions of an append target and
+// returns a description of the missing preallocation, or "" when the
+// slice is preallocated / reused / of unknown origin.
+func appendTargetVerdict(p *Package, du *cfg.DefUse, obj types.Object) string {
+	defs := du.Defs[obj]
+	real := 0
+	for _, d := range defs {
+		switch d.Kind {
+		case cfg.DefParam, cfg.DefRange, cfg.DefUpdate:
+			return "" // unknown origin; assume the caller sized it
+		}
+		// Self-growth (x = append(x, ...)) is not a defining site.
+		if call, ok := ast.Unparen(d.Rhs).(*ast.CallExpr); ok && isBuiltin(p, call, "append") {
+			continue
+		}
+		real++
+		if defProvidesCapacity(p, d) {
+			return ""
+		}
+	}
+	if real == 0 {
+		return ""
+	}
+	return "every definition leaves it without capacity"
+}
+
+// defProvidesCapacity reports whether one definition gives the slice a
+// usable capacity.
+func defProvidesCapacity(p *Package, d cfg.Def) bool {
+	rhs := ast.Unparen(d.Rhs)
+	switch rhs := rhs.(type) {
+	case nil:
+		return false // var x []T
+	case *ast.Ident:
+		return rhs.Name != "nil" // copied from another variable: unknown, assume sized
+	case *ast.CallExpr:
+		if !isBuiltin(p, rhs, "make") {
+			return true // produced by a call: unknown, assume sized
+		}
+		if len(rhs.Args) >= 3 {
+			return !isZeroLiteral(rhs.Args[2])
+		}
+		if len(rhs.Args) == 2 {
+			return !isZeroLiteral(rhs.Args[1])
+		}
+		return false
+	case *ast.CompositeLit:
+		return len(rhs.Elts) > 0
+	case *ast.SliceExpr:
+		return true // x[:0] reuse: capacity survives
+	default:
+		return true
+	}
+}
+
+func isZeroLiteral(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && strings.Trim(lit.Value, "0_xXbBoO") == ""
+}
+
+// ---------------------------------------------------------------------
+// hotdefer: defer inside hot loops.
+
+// HotDefer flags defer statements inside loops of hot functions: each
+// iteration pushes a defer record that only runs at function exit —
+// both a hidden allocation and a latent resource leak.
+type HotDefer struct{}
+
+// Name implements Analyzer.
+func (HotDefer) Name() string { return "hotdefer" }
+
+// Doc implements Analyzer.
+func (HotDefer) Doc() string {
+	return "flags defer statements inside hot kernel loops"
+}
+
+// Run implements Analyzer.
+func (HotDefer) Run(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	forEachCycleNode(p, func(fd *ast.FuncDecl, _ *cfg.DefUse, n, _ ast.Node) {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			diags = append(diags, p.diag(HotDefer{}.Name(), d,
+				"defer inside a loop of hot function %s accumulates a record per iteration and runs only at return; restructure into a helper function",
+				FuncDisplayName(fd)))
+		}
+	})
+	return diags
+}
+
+// ---------------------------------------------------------------------
+// hotiface: interface dispatch and boxing inside hot loops.
+
+// HotIface flags dynamic dispatch in hot loops: calls through interface
+// methods, calls through function values (except provably
+// devirtualizable local closures), and implicit boxing of concrete
+// values into interface parameters or variables. Each is an
+// optimization barrier — the Go compiler cannot inline or vectorize
+// through a dynamic call, the A64FX analogue of the paper's
+// unvectorized gather loops.
+type HotIface struct{}
+
+// Name implements Analyzer.
+func (HotIface) Name() string { return "hotiface" }
+
+// Doc implements Analyzer.
+func (HotIface) Doc() string {
+	return "flags interface dispatch, indirect calls and boxing inside hot kernel loops"
+}
+
+// Run implements Analyzer.
+func (HotIface) Run(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	forEachCycleNode(p, func(fd *ast.FuncDecl, du *cfg.DefUse, n, _ ast.Node) {
+		name := FuncDisplayName(fd)
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isConversion(p, n) {
+				return
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, ok := p.Info.Uses[id].(*types.Builtin); ok {
+					return
+				}
+			}
+			callee := calleeFunc(p, n)
+			if callee != nil {
+				if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+					diags = append(diags, p.diag(HotIface{}.Name(), n,
+						"interface method call %s in a loop of hot function %s dispatches dynamically; use the concrete type",
+						callee.Name(), name))
+				}
+				diags = append(diags, boxedArgs(p, n, name)...)
+				return
+			}
+			if _, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				return // immediate invocation: static
+			}
+			if _, ok := p.Info.TypeOf(n.Fun).(*types.Signature); !ok {
+				return
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil {
+					if _, sole := du.SoleFuncLit(obj); sole {
+						return // devirtualizable local closure
+					}
+				}
+			}
+			diags = append(diags, p.diag(HotIface{}.Name(), n,
+				"indirect call through a function value in a loop of hot function %s blocks inlining; take the concrete function or hoist the dispatch",
+				name))
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) || len(n.Lhs) != len(n.Rhs) {
+					break
+				}
+				lt := p.Info.TypeOf(lhs)
+				rt := p.Info.TypeOf(n.Rhs[i])
+				if boxes(lt, rt) {
+					diags = append(diags, p.diag(HotIface{}.Name(), n.Rhs[i],
+						"assignment boxes a concrete %s into interface %s in a loop of hot function %s; keep the concrete type in the loop",
+						rt, lt, name))
+				}
+			}
+		}
+	})
+	return diags
+}
+
+// boxedArgs reports arguments implicitly converted to interface
+// parameters (boxed) in a direct call.
+func boxedArgs(p *Package, call *ast.CallExpr, fnName string) []Diagnostic {
+	sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return nil
+	}
+	boxed := 0
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < sig.Params().Len()-1 || !sig.Variadic():
+			if i >= sig.Params().Len() {
+				continue
+			}
+			pt = sig.Params().At(i).Type()
+		default:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			sl, ok := last.(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = sl.Elem()
+		}
+		if boxes(pt, p.Info.TypeOf(arg)) {
+			boxed++
+		}
+	}
+	if boxed == 0 {
+		return nil
+	}
+	return []Diagnostic{p.diag(HotIface{}.Name(), call,
+		"call boxes %d argument(s) into interface parameters in a loop of hot function %s; each boxing may allocate", boxed, fnName)}
+}
+
+// boxes reports whether storing a value of type rt into a location of
+// type lt converts a concrete value to an interface.
+func boxes(lt, rt types.Type) bool {
+	if lt == nil || rt == nil {
+		return false
+	}
+	if !types.IsInterface(lt.Underlying()) || types.IsInterface(rt.Underlying()) {
+		return false
+	}
+	if b, ok := rt.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------
+// hotreduce: scheduling-dependent float reductions.
+
+// HotReduce flags float accumulations into captured variables from
+// inside closures that run concurrently (omp team callbacks and go
+// statements) in hot functions. Beyond the data race, the accumulation
+// order depends on goroutine scheduling, so the sum is not
+// reproducible — the Go analogue of the paper's §IV ULP analysis of
+// reassociated reductions. Use the team's Reduce helpers, which
+// combine per-thread partials in a fixed order.
+type HotReduce struct{}
+
+// Name implements Analyzer.
+func (HotReduce) Name() string { return "hotreduce" }
+
+// Doc implements Analyzer.
+func (HotReduce) Doc() string {
+	return "flags scheduling-dependent float accumulation into captured variables from parallel closures"
+}
+
+// Run implements Analyzer.
+func (HotReduce) Run(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, fd := range hotFuncDecls(p) {
+		name := FuncDisplayName(fd)
+		ast.Inspect(fd, func(n ast.Node) bool {
+			var lit *ast.FuncLit
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if l, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					lit = l
+				}
+			case *ast.CallExpr:
+				if !isParallelRuntimeCall(p, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					if l, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						diags = append(diags, capturedFloatAccums(p, l, name)...)
+					}
+				}
+				return true
+			default:
+				return true
+			}
+			if lit != nil {
+				diags = append(diags, capturedFloatAccums(p, lit, name)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isParallelRuntimeCall reports whether the call invokes a method of
+// the simulated OpenMP runtime (a type declared in .../internal/omp) —
+// its callbacks run on team goroutines concurrently.
+func isParallelRuntimeCall(p *Package, call *ast.CallExpr) bool {
+	f := calleeFunc(p, call)
+	if f == nil {
+		return false
+	}
+	named := recvNamed(f)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return pathHasSuffix(named.Obj().Pkg().Path(), "internal/omp")
+}
+
+// capturedFloatAccums finds `x += expr` / `x = x + expr` style float
+// accumulation into variables declared outside lit.
+func capturedFloatAccums(p *Package, lit *ast.FuncLit, fnName string) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		accum := as.Tok == token.ADD_ASSIGN || as.Tok == token.SUB_ASSIGN ||
+			as.Tok == token.MUL_ASSIGN || as.Tok == token.QUO_ASSIGN
+		if !accum && as.Tok == token.ASSIGN && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			// x = x + e (or e + x)
+			if bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr); ok {
+				if sameIdent(as.Lhs[0], bin.X) || (bin.Op == token.ADD && sameIdent(as.Lhs[0], bin.Y)) {
+					accum = true
+				}
+			}
+		}
+		if !accum || len(as.Lhs) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, _ := p.Info.Uses[id].(*types.Var)
+		if obj == nil || !isFloat(obj.Type()) {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // declared inside the closure: thread-private
+		}
+		diags = append(diags, p.diag(HotReduce{}.Name(), as,
+			"float accumulation into captured %s from a parallel closure in hot function %s races and its order depends on goroutine scheduling; use the team's Reduce helpers",
+			id.Name, fnName))
+		return true
+	})
+	return diags
+}
+
+func sameIdent(a, b ast.Expr) bool {
+	ai, ok1 := ast.Unparen(a).(*ast.Ident)
+	bi, ok2 := ast.Unparen(b).(*ast.Ident)
+	return ok1 && ok2 && ai.Name == bi.Name
+}

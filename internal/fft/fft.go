@@ -112,22 +112,28 @@ func (p *Plan) Transform(team *omp.Team, x []complex128) error {
 			x[i], x[r] = x[r], x[i]
 		}
 	}
-	stage := 0
-	for size := 2; size <= p.n; size <<= 1 {
-		half := size / 2
-		tw := p.twiddle[p.stageAt[stage] : p.stageAt[stage]+half]
-		blocks := p.n / size
-		run := func(b0, b1 int) {
-			for b := b0; b < b1; b++ {
-				base := b * size
-				for k := 0; k < half; k++ {
-					u := x[base+k]
-					v := x[base+k+half] * tw[k]
-					x[base+k] = u + v
-					x[base+k+half] = u - v
-				}
+	// The butterfly closure is created once and rebound per stage via the
+	// captured locals, so the stage loop itself never allocates.
+	var (
+		size, half int
+		tw         []complex128
+	)
+	run := func(b0, b1 int) {
+		for b := b0; b < b1; b++ {
+			base := b * size
+			for k := 0; k < half; k++ {
+				u := x[base+k]
+				v := x[base+k+half] * tw[k]
+				x[base+k] = u + v
+				x[base+k+half] = u - v
 			}
 		}
+	}
+	stage := 0
+	for size = 2; size <= p.n; size <<= 1 {
+		half = size / 2
+		tw = p.twiddle[p.stageAt[stage] : p.stageAt[stage]+half]
+		blocks := p.n / size
 		if team != nil && blocks >= team.Size()*2 {
 			team.ForRange(0, blocks, omp.Static, 0, run)
 		} else {

@@ -45,16 +45,30 @@ type Sim struct {
 	Cycles  int
 	// Vect-path temporaries (SoA work arrays).
 	vnew, dvol, work []float64
+	// Per-thread force accumulation buffers (privatize-and-reduce),
+	// owned by the Sim so Step never allocates.
+	forceX, forceY, forceZ [][]float64
 }
 
 // NewSim builds a Sedov problem on an n^3 mesh.
+//
+//ookami:cold -- one-time setup; allocates here so Step never does
 func NewSim(n int, team *omp.Team, variant Variant) *Sim {
 	m := NewMesh(n, 1.125, 1.0, 3.948746e+7*1e-7) // scaled Sedov energy
 	ne := n * n * n
-	return &Sim{
+	nn := len(m.FX)
+	nt := team.Size()
+	s := &Sim{
 		Mesh: m, Team: team, Variant: variant, DT: 1e-7,
 		vnew: make([]float64, ne), dvol: make([]float64, ne), work: make([]float64, ne),
+		forceX: make([][]float64, nt), forceY: make([][]float64, nt), forceZ: make([][]float64, nt),
 	}
+	for t := 0; t < nt; t++ {
+		s.forceX[t] = make([]float64, nn)
+		s.forceY[t] = make([]float64, nn)
+		s.forceZ[t] = make([]float64, nn)
+	}
+	return s
 }
 
 // Step advances one time step (leapfrog with Courant control).
@@ -89,14 +103,14 @@ func (s *Sim) calcForces() {
 	m := s.Mesh
 	nn := len(m.FX)
 	nt := s.Team.Size()
-	bufX := make([][]float64, nt)
-	bufY := make([][]float64, nt)
-	bufZ := make([][]float64, nt)
 	ne := len(m.Conn)
 	s.Team.Parallel(func(tid int) {
-		fx := make([]float64, nn)
-		fy := make([]float64, nn)
-		fz := make([]float64, nn)
+		fx := s.forceX[tid]
+		fy := s.forceY[tid]
+		fz := s.forceZ[tid]
+		clear(fx)
+		clear(fy)
+		clear(fz)
 		var gx, gy, gz [8]float64
 		lo := tid * ne / nt
 		hi := (tid + 1) * ne / nt
@@ -110,17 +124,14 @@ func (s *Sim) calcForces() {
 				fz[c[i]] += pq * gz[i]
 			}
 		}
-		bufX[tid] = fx
-		bufY[tid] = fy
-		bufZ[tid] = fz
 	})
 	s.Team.ForRange(0, nn, omp.Static, 0, func(a, b int) {
 		for i := a; i < b; i++ {
 			var sx, sy, sz float64
 			for t := 0; t < nt; t++ {
-				sx += bufX[t][i]
-				sy += bufY[t][i]
-				sz += bufZ[t][i]
+				sx += s.forceX[t][i]
+				sy += s.forceY[t][i]
+				sz += s.forceZ[t][i]
 			}
 			m.FX[i] = sx
 			m.FY[i] = sy

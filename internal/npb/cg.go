@@ -74,6 +74,8 @@ func (m *SparseMatrix) MulVec(team *omp.Team, y, x []float64) {
 // with sparse random unit vectors x_i and geometric weights w_i spanning
 // [rcond, 1]. The assembled matrix has smallest eigenvalue ~shift and
 // largest ~shift + O(1), like NPB's generator.
+//
+//ookami:cold -- one-time matrix assembly, outside the timed region
 func makea(n, nonzer int, shift float64, seed uint64) *SparseMatrix {
 	const rcond = 0.1
 	g := rng.NewLCG(seed)
@@ -85,15 +87,16 @@ func makea(n, nonzer int, shift float64, seed uint64) *SparseMatrix {
 	}
 	ratio := math.Pow(rcond, 1/float64(n))
 	w := 1.0
-	idx := make([]int, 0, nonzer)
-	val := make([]float64, 0, nonzer)
+	idx := make([]int, 0, nonzer+1)
+	val := make([]float64, 0, nonzer+1)
+	seen := make(map[int]bool, nonzer+1)
 	for i := 0; i < n; i++ {
 		// Sparse random vector with nonzer entries (sprnvc): random
 		// positions, random values, plus a strong diagonal component
 		// (vecset's 0.5 at position i).
 		idx = idx[:0]
 		val = val[:0]
-		seen := map[int]bool{}
+		clear(seen)
 		for len(idx) < nonzer {
 			p := int(g.Next() * float64(n))
 			if p >= n || seen[p] {
@@ -124,10 +127,21 @@ func makea(n, nonzer int, shift float64, seed uint64) *SparseMatrix {
 	for i := 0; i < n; i++ {
 		rows[i][i] += shift + 1 // NPB adds a diagonal dominance term
 	}
-	// Assemble CSR with sorted columns.
-	m := &SparseMatrix{N: n, RowPtr: make([]int, n+1)}
+	// Assemble CSR with sorted columns, preallocating from the known
+	// total so the append loop never reallocates.
+	nnz := 0
+	for i := range rows {
+		nnz += len(rows[i])
+	}
+	m := &SparseMatrix{
+		N:      n,
+		RowPtr: make([]int, n+1),
+		ColIdx: make([]int, 0, nnz),
+		Values: make([]float64, 0, nnz),
+	}
+	var cols []int
 	for i := 0; i < n; i++ {
-		cols := make([]int, 0, len(rows[i]))
+		cols = cols[:0]
 		//ookami:nolint determinism -- keys are sorted on the next line; iteration order cannot leak
 		for c := range rows[i] {
 			cols = append(cols, c)

@@ -103,6 +103,8 @@ func Suite() []Benchmark {
 }
 
 // ByName returns the named benchmark.
+//
+//ookami:cold -- six-entry lookup on the driver path, not a kernel
 func ByName(name string) (Benchmark, error) {
 	for _, b := range Suite() {
 		if b.Name() == name {

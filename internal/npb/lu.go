@@ -44,10 +44,14 @@ func luDiagBlock(h float64) Mat5 {
 func (lu *LU) sweep(g *Grid, team *omp.Team, f *LU5, forward bool) {
 	n := g.N
 	off := nu / (g.H * g.H)
+	// The hyperplane node list is reused across all 3(n-2) planes; a
+	// plane holds at most (n-2)^2 nodes, so after the first few planes
+	// the appends below never reallocate.
+	type node struct{ i, j int }
+	nodes := make([]node, 0, (n-2)*(n-2))
 	process := func(s int) {
 		// Enumerate interior nodes on hyperplane i+j+k = s.
-		type node struct{ i, j int }
-		var nodes []node
+		nodes = nodes[:0]
 		for i := 1; i < n-1; i++ {
 			j0 := s - i - (n - 2)
 			if j0 < 1 {

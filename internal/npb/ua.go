@@ -57,12 +57,19 @@ type uaMesh struct {
 }
 
 func newUAMesh(n int) *uaMesh {
+	// An all-coarse mesh has 3n^2(n-1) interior faces; refinement roughly
+	// doubles that. Sizing the face lists for the refined case up front
+	// keeps buildFaces' append loops from reallocating each epoch.
+	faceCap := 6 * n * n * n
 	return &uaMesh{
-		n:       n,
-		h:       1 / float64(n),
-		refined: make([]bool, n*n*n),
-		tc:      make([]float64, n*n*n),
-		tf:      make([]float64, 8*n*n*n),
+		n:         n,
+		h:         1 / float64(n),
+		refined:   make([]bool, n*n*n),
+		tc:        make([]float64, n*n*n),
+		tf:        make([]float64, 8*n*n*n),
+		facePairs: make([][4]int32, 0, faceCap),
+		faceArea:  make([]float64, 0, faceCap),
+		faceDist:  make([]float64, 0, faceCap),
 	}
 }
 

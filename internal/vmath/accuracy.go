@@ -41,6 +41,8 @@ type VecFn func(dst, src []float64)
 // spaced points plus the exact endpoints, returning the error
 // distribution. The reference is evaluated per element with the scalar
 // routine, assumed correctly rounded.
+//
+//ookami:cold -- accuracy study harness; the indirect reference call is the instrument, not the kernel
 func MeasureAccuracy(name string, fn VecFn, ref func(float64) float64, lo, hi float64, n int) AccuracyReport {
 	if n < 2 {
 		n = 2
@@ -78,6 +80,8 @@ func MeasureAccuracy(name string, fn VecFn, ref func(float64) float64, lo, hi fl
 
 // UlpHistogram buckets the ULP errors of fn vs ref over [lo, hi]:
 // buckets are [0, 0.5], (0.5, 1], (1, 2], (2, 4], (4, 8], (8, +inf).
+//
+//ookami:cold -- accuracy study harness; the indirect reference call is the instrument, not the kernel
 func UlpHistogram(fn VecFn, ref func(float64) float64, lo, hi float64, n int) [6]int {
 	xs := make([]float64, n)
 	step := (hi - lo) / float64(n-1)
