@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet compilerdiag baseline check bench figures
+.PHONY: build test race vet compilerdiag baseline check bench benchgate benchrecord gobench figures
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,26 @@ check:
 	$(GO) run ./cmd/ookami-vet ./...
 	$(GO) run ./cmd/ookami-vet -compilerdiag
 
+# Run the registered workloads through the orchestrator and store
+# BENCH_ookami.json (warmup + repeats, CoV interference gate, bootstrap
+# CIs; see docs/BENCHMARKS.md).
 bench:
+	$(GO) run ./cmd/ookami-bench run
+
+# The perf gate: re-measure and diff against the committed baseline,
+# failing on any workload that regresses beyond the noise-aware
+# threshold with disjoint confidence intervals.
+benchgate:
+	$(GO) run ./cmd/ookami-bench run -q
+	$(GO) run ./cmd/ookami-bench compare
+
+# Re-record the committed benchmark baseline after an intentional
+# performance change; the JSON diff is part of the PR under review.
+benchrecord:
+	$(GO) run ./cmd/ookami-bench record -update-baseline
+
+# The raw `go test -bench` harness (figures/tables + kernel wall-clock).
+gobench:
 	$(GO) test -bench=. -benchmem
 
 figures:

@@ -1,3 +1,3 @@
 module ookami
 
-go 1.22
+go 1.24.0

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ookami/internal/stats"
+)
+
+// CompareOptions tunes the regression gate.
+type CompareOptions struct {
+	// Threshold is the minimum new/old median ratio counted as a
+	// regression before noise widening, e.g. 1.10 for +10% (default).
+	Threshold float64
+	// NoiseMult widens the gate by NoiseMult times the larger of the
+	// two CoVs (default 2): a workload that wobbles 10% run-to-run
+	// must move further than one that wobbles 1% before we believe it.
+	NoiseMult float64
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.Threshold <= 1 {
+		o.Threshold = 1.10
+	}
+	if o.NoiseMult <= 0 {
+		o.NoiseMult = 2
+	}
+	return o
+}
+
+// Delta is the comparison of one workload present in both reports.
+type Delta struct {
+	Name      string
+	OldMedian float64
+	NewMedian float64
+	// Ratio is NewMedian/OldMedian: >1 is slower.
+	Ratio float64
+	// Gate is the ratio the regression test required, after noise
+	// widening: 1 + max(Threshold-1, NoiseMult*max(oldCoV, newCoV)).
+	Gate float64
+	// CIDisjoint reports that the two bootstrap confidence intervals
+	// of the median do not overlap — the shift is statistically real.
+	CIDisjoint bool
+	// Regressed: Ratio above Gate AND CIDisjoint.
+	Regressed bool
+	// Improved: the symmetric condition in the other direction.
+	Improved bool
+	// Note carries a skip reason ("baseline errored: timeout", …) for
+	// pairs that could not be compared; such pairs never regress.
+	Note string
+}
+
+// Comparison is the full diff of a current report against a baseline.
+type Comparison struct {
+	Deltas []Delta
+	// MissingInCurrent lists baseline workloads absent from the
+	// current report (informational: filtered runs compare subsets).
+	MissingInCurrent []string
+	// AddedInCurrent lists current workloads the baseline lacks.
+	AddedInCurrent []string
+	// EnvMismatch describes baseline/current environment differences
+	// that can move timings on their own.
+	EnvMismatch []string
+}
+
+// Regressions returns the deltas flagged as regressions.
+func (c *Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Compare diffs cur against base workload by workload. A workload
+// regresses only when its median ratio clears the noise-widened
+// threshold AND the bootstrap confidence intervals of the two medians
+// are disjoint — a large-but-noisy shift and a significant-but-tiny
+// shift both pass.
+func Compare(base, cur *Report, opt CompareOptions) *Comparison {
+	opt = opt.withDefaults()
+	c := &Comparison{EnvMismatch: envMismatch(base.Env, cur.Env)}
+
+	curByName := map[string]*Result{}
+	for i := range cur.Results {
+		curByName[cur.Results[i].Name] = &cur.Results[i]
+	}
+	baseNames := map[string]bool{}
+	for i := range base.Results {
+		b := &base.Results[i]
+		baseNames[b.Name] = true
+		n, ok := curByName[b.Name]
+		if !ok {
+			c.MissingInCurrent = append(c.MissingInCurrent, b.Name)
+			continue
+		}
+		c.Deltas = append(c.Deltas, compareOne(b, n, opt))
+	}
+	for name := range curByName {
+		if !baseNames[name] {
+			c.AddedInCurrent = append(c.AddedInCurrent, name)
+		}
+	}
+	sort.Slice(c.Deltas, func(i, j int) bool { return c.Deltas[i].Name < c.Deltas[j].Name })
+	sort.Strings(c.MissingInCurrent)
+	sort.Strings(c.AddedInCurrent)
+	return c
+}
+
+// compareOne builds the delta for one workload pair.
+func compareOne(b, n *Result, opt CompareOptions) Delta {
+	d := Delta{Name: b.Name, OldMedian: b.Median, NewMedian: n.Median}
+	switch {
+	case b.Failed():
+		d.Note = fmt.Sprintf("baseline errored: %s", b.ErrKind)
+		return d
+	case n.Failed():
+		d.Note = fmt.Sprintf("current errored: %s", n.ErrKind)
+		return d
+	case b.Median <= 0 || math.IsNaN(b.Median) || math.IsNaN(n.Median):
+		d.Note = "no comparable medians"
+		return d
+	}
+	d.Ratio = n.Median / b.Median
+	noise := math.Max(b.CoV, n.CoV)
+	if math.IsNaN(noise) {
+		noise = 0
+	}
+	d.Gate = 1 + math.Max(opt.Threshold-1, opt.NoiseMult*noise)
+	if b.ErrKind == ErrNoisy || n.ErrKind == ErrNoisy {
+		d.Note = "noisy samples"
+	}
+	ciDisjointSlower := n.CILow > b.CIHigh
+	ciDisjointFaster := n.CIHigh < b.CILow
+	d.CIDisjoint = ciDisjointSlower || ciDisjointFaster
+	d.Regressed = d.Ratio > d.Gate && ciDisjointSlower
+	d.Improved = d.Ratio < 1/d.Gate && ciDisjointFaster
+	return d
+}
+
+// envMismatch lists fields of the two environments that differ.
+func envMismatch(a, b Env) []string {
+	var out []string
+	add := func(field, av, bv string) {
+		if av != bv {
+			out = append(out, fmt.Sprintf("%s: baseline %s, current %s", field, av, bv))
+		}
+	}
+	add("go", a.GoVersion, b.GoVersion)
+	add("goos", a.GOOS, b.GOOS)
+	add("goarch", a.GOARCH, b.GOARCH)
+	add("numCPU", fmt.Sprint(a.NumCPU), fmt.Sprint(b.NumCPU))
+	add("gomaxprocs", fmt.Sprint(a.GOMAXPROCS), fmt.Sprint(b.GOMAXPROCS))
+	return out
+}
+
+// Table renders the comparison benchstat-style: one row per compared
+// workload with old/new medians, the delta, and the verdict.
+func (c *Comparison) Table() *stats.Table {
+	tb := stats.NewTable("", "workload", "old median", "new median", "delta", "verdict")
+	for _, d := range c.Deltas {
+		verdict := "~"
+		switch {
+		case d.Note != "":
+			verdict = "skip (" + d.Note + ")"
+		case d.Regressed:
+			verdict = "REGRESSED"
+		case d.Improved:
+			verdict = "improved"
+		}
+		delta := ""
+		if d.Ratio > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(d.Ratio-1))
+		}
+		tb.AddRow(d.Name, formatSeconds(d.OldMedian), formatSeconds(d.NewMedian), delta, verdict)
+	}
+	return tb
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// res builds a Result whose CI is median*(1±spread) and CoV is cov.
+func res(name string, median, cov, spread float64) Result {
+	return Result{
+		Name: name, Repeats: 5,
+		Median: median, Mean: median, Min: median, Max: median,
+		CoV: cov, CILow: median * (1 - spread), CIHigh: median * (1 + spread),
+	}
+}
+
+func reportOf(results ...Result) *Report {
+	r := newReport()
+	r.Results = results
+	return r
+}
+
+func TestCompareFlagsRealRegression(t *testing.T) {
+	base := reportOf(res("k/slowed", 1.0, 0.02, 0.03), res("k/steady", 2.0, 0.02, 0.03))
+	cur := reportOf(res("k/slowed", 2.0, 0.02, 0.03), res("k/steady", 2.01, 0.02, 0.03))
+	c := Compare(base, cur, CompareOptions{Threshold: 1.10, NoiseMult: 2})
+	regs := c.Regressions()
+	if len(regs) != 1 || regs[0].Name != "k/slowed" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	if !regs[0].CIDisjoint || regs[0].Ratio != 2.0 {
+		t.Errorf("delta = %+v", regs[0])
+	}
+	for _, d := range c.Deltas {
+		if d.Name == "k/steady" && (d.Regressed || d.Improved) {
+			t.Errorf("steady workload misflagged: %+v", d)
+		}
+	}
+}
+
+func TestCompareCIOverlapVetoesNoisyShift(t *testing.T) {
+	// +50% median shift but CIs wide enough to overlap: not a
+	// statistically real regression.
+	base := reportOf(res("k/wobbly", 1.0, 0.02, 0.60))
+	cur := reportOf(res("k/wobbly", 1.5, 0.02, 0.60))
+	c := Compare(base, cur, CompareOptions{Threshold: 1.10, NoiseMult: 2})
+	if len(c.Regressions()) != 0 {
+		t.Errorf("overlapping CIs flagged as regression: %+v", c.Deltas)
+	}
+}
+
+func TestCompareNoiseWidensGate(t *testing.T) {
+	// 15% shift with disjoint CIs, but 20% run-to-run CoV: the
+	// noise-aware gate (1 + 2*0.20 = 1.40) must hold it back.
+	base := reportOf(res("k/jittery", 1.0, 0.20, 0.01))
+	cur := reportOf(res("k/jittery", 1.15, 0.20, 0.01))
+	c := Compare(base, cur, CompareOptions{Threshold: 1.10, NoiseMult: 2})
+	if len(c.Regressions()) != 0 {
+		t.Errorf("noise gate failed to widen: %+v", c.Deltas)
+	}
+	if g := c.Deltas[0].Gate; g < 1.39 || g > 1.41 {
+		t.Errorf("gate = %v, want 1.40", g)
+	}
+}
+
+func TestCompareFlagsImprovement(t *testing.T) {
+	base := reportOf(res("k/faster", 2.0, 0.02, 0.03))
+	cur := reportOf(res("k/faster", 1.0, 0.02, 0.03))
+	c := Compare(base, cur, CompareOptions{})
+	if len(c.Deltas) != 1 || !c.Deltas[0].Improved || c.Deltas[0].Regressed {
+		t.Errorf("improvement missed: %+v", c.Deltas)
+	}
+}
+
+func TestCompareSkipsErroredAndMissing(t *testing.T) {
+	bad := res("k/broken", 1.0, 0.02, 0.03)
+	bad.ErrKind = ErrTimeout
+	bad.Error = "exceeded 1s"
+	base := reportOf(bad, res("k/gone", 1.0, 0.02, 0.03), res("k/ok", 1.0, 0.02, 0.03))
+	cur := reportOf(res("k/broken", 9.0, 0.02, 0.03), res("k/ok", 1.0, 0.02, 0.03), res("k/new", 1.0, 0.02, 0.03))
+	c := Compare(base, cur, CompareOptions{})
+	if len(c.Regressions()) != 0 {
+		t.Errorf("errored pair regressed: %+v", c.Regressions())
+	}
+	var broken *Delta
+	for i := range c.Deltas {
+		if c.Deltas[i].Name == "k/broken" {
+			broken = &c.Deltas[i]
+		}
+	}
+	if broken == nil || !strings.Contains(broken.Note, "baseline errored") {
+		t.Errorf("broken delta = %+v", broken)
+	}
+	if len(c.MissingInCurrent) != 1 || c.MissingInCurrent[0] != "k/gone" {
+		t.Errorf("missing = %v", c.MissingInCurrent)
+	}
+	if len(c.AddedInCurrent) != 1 || c.AddedInCurrent[0] != "k/new" {
+		t.Errorf("added = %v", c.AddedInCurrent)
+	}
+}
+
+func TestCompareEnvMismatch(t *testing.T) {
+	base := reportOf(res("k/ok", 1.0, 0.02, 0.03))
+	cur := reportOf(res("k/ok", 1.0, 0.02, 0.03))
+	base.Env.NumCPU = 48
+	cur.Env.NumCPU = 4
+	c := Compare(base, cur, CompareOptions{})
+	found := false
+	for _, m := range c.EnvMismatch {
+		if strings.Contains(m, "numCPU") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("numCPU mismatch not reported: %v", c.EnvMismatch)
+	}
+}
+
+func TestComparisonTable(t *testing.T) {
+	base := reportOf(res("k/slowed", 1.0, 0.02, 0.03))
+	cur := reportOf(res("k/slowed", 2.0, 0.02, 0.03))
+	c := Compare(base, cur, CompareOptions{})
+	out := c.Table().String()
+	if !strings.Contains(out, "k/slowed") || !strings.Contains(out, "REGRESSED") {
+		t.Errorf("table missing verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "+100.0%") {
+		t.Errorf("table missing delta:\n%s", out)
+	}
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// SchemaVersion is the version of the JSON result format. Readers
+// reject files written under any other version; bump it when a field
+// changes meaning, and re-record baselines in the same change.
+const SchemaVersion = 1
+
+// DefaultReportPath is where `ookami-bench run` writes its report.
+const DefaultReportPath = "BENCH_ookami.json"
+
+// DefaultBaselinePath is the committed baseline the comparator diffs
+// against, relative to the module root.
+const DefaultBaselinePath = "internal/bench/baseline/BENCH_ookami.json"
+
+// Env captures the execution environment a report was produced under.
+// A baseline recorded under a different environment is still
+// comparable, but the comparator surfaces the mismatch so a "regression"
+// caused by a core-count change is attributable.
+type Env struct {
+	GoVersion  string `json:"goVersion"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"numCPU"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CaptureEnv snapshots the current process environment.
+func CaptureEnv() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Result is one workload's recorded outcome. Timing fields are seconds
+// per iteration; statistics are computed over Samples.
+type Result struct {
+	Name   string            `json:"name"`
+	Params map[string]string `json:"params,omitempty"`
+
+	Repeats  int       `json:"repeats"`
+	Warmup   int       `json:"warmup"`
+	Attempts int       `json:"attempts"` // sample-set attempts incl. CoV-gate re-runs
+	Samples  []float64 `json:"samples,omitempty"`
+
+	Median float64 `json:"median"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	CoV    float64 `json:"cov"`
+	CILow  float64 `json:"ciLow"`  // 95% percentile-bootstrap CI of the median
+	CIHigh float64 `json:"ciHigh"`
+
+	// Error and ErrKind record a typed failure ("setup", "panic",
+	// "timeout", "noisy"); on "noisy" the statistics above are still
+	// populated from the last sample set.
+	Error   string  `json:"error,omitempty"`
+	ErrKind ErrKind `json:"errKind,omitempty"`
+}
+
+// Failed reports whether the result carries a hard failure — any typed
+// error except the noisy flag, which keeps (suspect) statistics.
+func (r *Result) Failed() bool {
+	return r.ErrKind != "" && r.ErrKind != ErrNoisy
+}
+
+// Report is the versioned top-level result document.
+type Report struct {
+	Schema    int      `json:"schema"`
+	CreatedAt string   `json:"createdAt"` // RFC 3339
+	Env       Env      `json:"env"`
+	Results   []Result `json:"results"`
+}
+
+// Result returns the named result, or nil.
+func (r *Report) Result(name string) *Result {
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// SchemaError reports a report file written under a different schema
+// version.
+type SchemaError struct {
+	Path string
+	Got  int
+}
+
+// Error implements error.
+func (e *SchemaError) Error() string {
+	return fmt.Sprintf("bench: %s: schema version %d, this tool reads version %d", e.Path, e.Got, SchemaVersion)
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encode %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReport reads and validates a report file.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, &SchemaError{Path: path, Got: r.Schema}
+	}
+	return &r, nil
+}
+
+// newReport stamps an empty report with the schema, clock and
+// environment.
+func newReport() *Report {
+	return &Report{
+		Schema:    SchemaVersion,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Env:       CaptureEnv(),
+	}
+}

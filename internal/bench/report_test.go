@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := newReport()
+	rep.Results = append(rep.Results, Result{
+		Name: "t/a", Params: map[string]string{"n": "8"},
+		Repeats: 3, Samples: []float64{1, 2, 3},
+		Median: 2, Mean: 2, Min: 1, Max: 3, CoV: 0.5, CILow: 1, CIHigh: 3,
+	})
+	path := filepath.Join(t.TempDir(), "BENCH_ookami.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion || len(got.Results) != 1 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	r := got.Result("t/a")
+	if r == nil || r.Median != 2 || r.Params["n"] != "8" {
+		t.Errorf("result corrupted: %+v", r)
+	}
+}
+
+func TestLoadReportRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99, "results": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadReport(path)
+	var se *SchemaError
+	if !errors.As(err, &se) {
+		t.Fatalf("want SchemaError, got %v", err)
+	}
+	if se.Got != 99 || !strings.Contains(se.Error(), "99") {
+		t.Errorf("schema error = %v", se)
+	}
+}
+
+func TestLoadReportRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(path); err == nil {
+		t.Error("garbage parsed as a report")
+	}
+	if _, err := LoadReport(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file loaded as a report")
+	}
+}

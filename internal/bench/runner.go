@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"runtime/debug"
+	"time"
+
+	"ookami/internal/stats"
+)
+
+// Options configures a run. Zero fields take defaults.
+type Options struct {
+	// Repeats is the number of timed samples per workload (default 5).
+	Repeats int
+	// Warmup is the number of untimed iterations before sampling
+	// (default 1) — on A64FX this hides first-touch page placement and
+	// instruction-cache warmth; here it additionally absorbs Go's
+	// lazy growth of runtime structures.
+	Warmup int
+	// Timeout bounds one workload end to end: setup, warmup, and all
+	// sample attempts (default 120s).
+	Timeout time.Duration
+	// MaxCoV is the interference gate: a sample set whose coefficient
+	// of variation exceeds it is discarded and re-collected (default
+	// 0.25).
+	MaxCoV float64
+	// Retries is how many extra sample sets the CoV gate may request
+	// (default 2). When exhausted the last set is kept, flagged noisy.
+	Retries int
+	// Backoff is the pause before the first re-collection, doubling
+	// per retry (default 100ms) — a machine busy with someone else's
+	// job usually is not 100ms later.
+	Backoff time.Duration
+	// Log, when non-nil, receives one progress line per workload.
+	Log io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Repeats <= 0 {
+		o.Repeats = 5
+	}
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	} else if o.Warmup == 0 {
+		o.Warmup = 1
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 120 * time.Second
+	}
+	if o.MaxCoV <= 0 {
+		o.MaxCoV = 0.25
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	return o
+}
+
+// RunAll executes the workloads sequentially (concurrent benchmarks
+// would measure each other) and returns the stamped report. The context
+// cancels the whole run; each workload additionally gets its own
+// timeout.
+func RunAll(ctx context.Context, ws []Workload, opt Options) *Report {
+	opt = opt.withDefaults()
+	rep := newReport()
+	for _, w := range ws {
+		if ctx.Err() != nil {
+			break
+		}
+		res := runOne(ctx, w, opt)
+		rep.Results = append(rep.Results, res)
+		if opt.Log != nil {
+			fmt.Fprintln(opt.Log, progressLine(&res))
+		}
+	}
+	return rep
+}
+
+// progressLine renders one workload's outcome for the -v stream.
+func progressLine(r *Result) string {
+	if r.Failed() {
+		return fmt.Sprintf("%-28s FAIL (%s) %s", r.Name, r.ErrKind, r.Error)
+	}
+	line := fmt.Sprintf("%-28s median %s  cov %4.1f%%  n=%d", r.Name,
+		formatSeconds(r.Median), 100*r.CoV, r.Repeats)
+	if r.ErrKind == ErrNoisy {
+		line += "  (noisy)"
+	}
+	return line
+}
+
+// formatSeconds renders a duration-in-seconds at benchmark precision.
+func formatSeconds(s float64) string {
+	switch {
+	case math.IsNaN(s):
+		return "-"
+	case s >= 1:
+		return fmt.Sprintf("%.3fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.3fms", s*1e3)
+	case s >= 1e-6:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	default:
+		return fmt.Sprintf("%.0fns", s*1e9)
+	}
+}
+
+// outcome is what the sampling goroutine reports back.
+type outcome struct {
+	samples  []float64
+	attempts int
+	err      *RunError
+}
+
+// runOne measures a single workload: setup, warmup, then up to
+// 1+Retries sample sets under the CoV gate, the whole thing bounded by
+// the per-workload timeout and isolated from panics. The workload runs
+// on its own goroutine so a hang cannot take down the harness; on
+// timeout the goroutine is abandoned (it re-checks the context between
+// iterations, so a live workload unwinds promptly).
+func runOne(parent context.Context, w Workload, opt Options) Result {
+	res := Result{
+		Name:    w.Name,
+		Params:  w.Params,
+		Repeats: opt.Repeats,
+		Warmup:  opt.Warmup,
+	}
+	ctx, cancel := context.WithTimeout(parent, opt.Timeout)
+	defer cancel()
+
+	ch := make(chan outcome, 1)
+	go sample(ctx, w, opt, ch)
+
+	select {
+	case out := <-ch:
+		res.Attempts = out.attempts
+		if out.err != nil {
+			res.Error = out.err.Msg
+			res.ErrKind = out.err.Kind
+		}
+		if len(out.samples) > 0 {
+			fillStats(&res, out.samples)
+		}
+	case <-ctx.Done():
+		res.Error = fmt.Sprintf("exceeded %v", opt.Timeout)
+		res.ErrKind = ErrTimeout
+	}
+	return res
+}
+
+// sample runs on the workload goroutine; it must communicate only via
+// ch (buffered) so an abandoned invocation cannot block.
+func sample(ctx context.Context, w Workload, opt Options, ch chan<- outcome) {
+	var out outcome
+	defer func() {
+		if r := recover(); r != nil {
+			out.err = &RunError{Kind: ErrPanic, Workload: w.Name,
+				Msg: fmt.Sprintf("%v\n%s", r, debug.Stack())}
+			out.samples = nil
+		}
+		ch <- out
+	}()
+
+	iter, err := w.Setup()
+	if err != nil {
+		out.err = &RunError{Kind: ErrSetup, Workload: w.Name, Msg: err.Error()}
+		return
+	}
+	for i := 0; i < opt.Warmup; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		iter()
+	}
+
+	backoff := opt.Backoff
+	for attempt := 0; attempt <= opt.Retries; attempt++ {
+		out.attempts = attempt + 1
+		samples := make([]float64, 0, opt.Repeats)
+		for i := 0; i < opt.Repeats; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			t0 := time.Now()
+			iter()
+			samples = append(samples, time.Since(t0).Seconds())
+		}
+		out.samples = samples
+		cov := stats.CoV(samples)
+		if cov <= opt.MaxCoV {
+			out.err = nil
+			return
+		}
+		out.err = &RunError{Kind: ErrNoisy, Workload: w.Name,
+			Msg: fmt.Sprintf("CoV %.1f%% above gate %.1f%% after %d attempt(s)", 100*cov, 100*opt.MaxCoV, attempt+1)}
+		if attempt < opt.Retries {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return
+			}
+			backoff *= 2
+		}
+	}
+}
+
+// fillStats populates the statistics fields from a sample set. The
+// bootstrap seed derives from the workload name so re-analysis of the
+// same samples is bit-for-bit reproducible.
+func fillStats(res *Result, samples []float64) {
+	res.Samples = samples
+	s := stats.Summarize(samples)
+	res.Mean, res.Min, res.Max = s.Mean, s.Min, s.Max
+	res.Median = stats.Median(samples)
+	res.CoV = stats.CoV(samples)
+	res.CILow, res.CIHigh = stats.BootstrapCI(samples, stats.Median, 0.95, 1000, nameSeed(res.Name))
+}
+
+// nameSeed hashes a workload name into a bootstrap seed.
+func nameSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
+}

@@ -1,0 +1,88 @@
+// Benchmark registration: the DGEMM variants and the HPL panel
+// factorization as named workloads in the internal/bench registry.
+package blas
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ookami/internal/bench"
+	"ookami/internal/omp"
+)
+
+const (
+	benchRegThreads = 2
+	benchRegDgemmN  = 128
+	benchRegLUN     = 192
+)
+
+// benchRegVec builds a deterministic input vector on [-1, 1).
+//
+//ookami:cold -- benchmark setup on the driver path, not a kernel
+func benchRegVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()*2 - 1
+	}
+	return xs
+}
+
+// registerBLAS wires DGEMM and the HPL LU factorization into the bench
+// registry.
+//
+//ookami:cold -- benchmark registration shim on the driver path, not a kernel
+func registerBLAS() {
+	dgemms := []struct {
+		kernel string
+		doc    string
+		fn     Dgemm
+	}{
+		{"dgemm-blocked", "cache-blocked DGEMM", DgemmBlocked},
+		{"dgemm-packed", "packed-panel DGEMM", DgemmPacked},
+	}
+	for _, d := range dgemms {
+		d := d
+		bench.Register(bench.Workload{
+			Name: "blas/" + d.kernel,
+			Doc:  d.doc,
+			Params: map[string]string{
+				"n":       fmt.Sprint(benchRegDgemmN),
+				"threads": fmt.Sprint(benchRegThreads),
+			},
+			Setup: func() (func(), error) {
+				team := omp.NewTeam(benchRegThreads)
+				n := benchRegDgemmN
+				a := benchRegVec(n*n, 1)
+				b := benchRegVec(n*n, 2)
+				c := make([]float64, n*n)
+				return func() { d.fn(team, n, a, b, c) }, nil
+			},
+		})
+	}
+	bench.Register(bench.Workload{
+		Name: "blas/hpl-lu",
+		Doc:  "HPL-style panel LU factorization with partial pivoting",
+		Params: map[string]string{
+			"n":       fmt.Sprint(benchRegLUN),
+			"panel":   "32",
+			"threads": fmt.Sprint(benchRegThreads),
+		},
+		Setup: func() (func(), error) {
+			team := omp.NewTeam(benchRegThreads)
+			n := benchRegLUN
+			src := benchRegVec(n*n, 3)
+			a := make([]float64, n*n)
+			piv := make([]int, n)
+			return func() {
+				copy(a, src)
+				if err := LUFactor(team, n, a, piv, 32); err != nil {
+					panic(err)
+				}
+			}, nil
+		},
+	})
+}
+
+//ookami:cold -- benchmark registration shim on the driver path, not a kernel
+func init() { registerBLAS() }

@@ -1,0 +1,54 @@
+// Benchmark registration: the planned FFT as a named workload in the
+// internal/bench registry.
+package fft
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ookami/internal/bench"
+	"ookami/internal/omp"
+)
+
+const (
+	benchRegN       = 1 << 14
+	benchRegThreads = 2
+)
+
+// registerFFT wires the planned transform into the bench registry.
+// Each iteration restores the input (Transform works in place) and
+// runs one forward transform.
+//
+//ookami:cold -- benchmark registration shim on the driver path, not a kernel
+func registerFFT() {
+	bench.Register(bench.Workload{
+		Name: "fft/transform",
+		Doc:  "planned complex FFT, forward transform",
+		Params: map[string]string{
+			"n":       fmt.Sprint(benchRegN),
+			"threads": fmt.Sprint(benchRegThreads),
+		},
+		Setup: func() (func(), error) {
+			p, err := NewPlan(benchRegN)
+			if err != nil {
+				return nil, err
+			}
+			team := omp.NewTeam(benchRegThreads)
+			rng := rand.New(rand.NewSource(2))
+			x := make([]complex128, benchRegN)
+			for i := range x {
+				x[i] = complex(rng.Float64(), rng.Float64())
+			}
+			y := make([]complex128, benchRegN)
+			return func() {
+				copy(y, x)
+				if err := p.Transform(team, y); err != nil {
+					panic(err)
+				}
+			}, nil
+		},
+	})
+}
+
+//ookami:cold -- benchmark registration shim on the driver path, not a kernel
+func init() { registerFFT() }

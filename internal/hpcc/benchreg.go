@@ -1,0 +1,53 @@
+// Benchmark registration: the executable HPCC memory kernels (STREAM
+// and GUPS) as named workloads in the internal/bench registry. The
+// analytic DGEMM/HPL/FFT models live in hpcc.go; their executable
+// counterparts register from internal/blas and internal/fft.
+package hpcc
+
+import (
+	"fmt"
+
+	"ookami/internal/bench"
+	"ookami/internal/omp"
+)
+
+const (
+	benchRegThreads    = 2
+	benchRegStreamN    = 1 << 15
+	benchRegGUPSLog    = 16
+	benchRegGUPSUpdate = 1 << 14
+)
+
+// registerHPCC wires STREAM and GUPS into the bench registry.
+//
+//ookami:cold -- benchmark registration shim on the driver path, not a kernel
+func registerHPCC() {
+	bench.Register(bench.Workload{
+		Name: "hpcc/stream",
+		Doc:  "one STREAM pass (copy/scale/add/triad)",
+		Params: map[string]string{
+			"n":       fmt.Sprint(benchRegStreamN),
+			"threads": fmt.Sprint(benchRegThreads),
+		},
+		Setup: func() (func(), error) {
+			team := omp.NewTeam(benchRegThreads)
+			return func() { RunStream(team, benchRegStreamN, 1) }, nil
+		},
+	})
+	bench.Register(bench.Workload{
+		Name: "hpcc/gups",
+		Doc:  "random-access table updates (GUPS)",
+		Params: map[string]string{
+			"logSize": fmt.Sprint(benchRegGUPSLog),
+			"updates": fmt.Sprint(benchRegGUPSUpdate),
+			"threads": fmt.Sprint(benchRegThreads),
+		},
+		Setup: func() (func(), error) {
+			team := omp.NewTeam(benchRegThreads)
+			return func() { RunGUPS(team, benchRegGUPSLog, benchRegGUPSUpdate) }, nil
+		},
+	})
+}
+
+//ookami:cold -- benchmark registration shim on the driver path, not a kernel
+func init() { registerHPCC() }

@@ -1,0 +1,51 @@
+// Benchmark registration: the Section III loop suite as named
+// workloads in the internal/bench registry, measured and baselined by
+// cmd/ookami-bench.
+package loops
+
+import (
+	"fmt"
+
+	"ookami/internal/bench"
+)
+
+// benchRegN sizes the registered workloads; 2^14 doubles matches the
+// gather benchmarks of the root harness.
+const benchRegN = 1 << 14
+
+// registerLoops wires every loop of the suite into the bench registry.
+//
+//ookami:cold -- benchmark registration shim on the driver path, not a kernel
+func registerLoops() {
+	reg := func(kernel, doc string, setup func(w *Workload, y []float64) func()) {
+		bench.Register(bench.Workload{
+			Name:   "loops/" + kernel,
+			Doc:    doc,
+			Params: map[string]string{"n": fmt.Sprint(benchRegN), "seed": "1"},
+			Setup: func() (func(), error) {
+				w := NewWorkload(benchRegN, 1)
+				y := make([]float64, w.N)
+				return setup(w, y), nil
+			},
+		})
+	}
+	reg("simple", "y = 2x + 3x^2, SVE FMA form",
+		func(w *Workload, y []float64) func() { return func() { SimpleSVE(y, w.X) } })
+	reg("simple-scalar", "y = 2x + 3x^2, scalar reference",
+		func(w *Workload, y []float64) func() { return func() { SimpleScalar(y, w.X) } })
+	reg("predicate", "masked copy of positive elements",
+		func(w *Workload, y []float64) func() { return func() { PredicateSVE(y, w.X) } })
+	reg("gather", "vector gather over a full random permutation",
+		func(w *Workload, y []float64) func() { return func() { GatherSVE(y, w.X, w.Index) } })
+	reg("gather-short", "vector gather within 128-byte windows (A64FX fast path)",
+		func(w *Workload, y []float64) func() { return func() { GatherSVE(y, w.X, w.Short) } })
+	reg("scatter", "vector scatter over a full random permutation",
+		func(w *Workload, y []float64) func() { return func() { ScatterSVE(y, w.X, w.Index) } })
+	reg("recip", "1/x via Newton iteration",
+		func(w *Workload, y []float64) func() { return func() { RecipSVE(y, w.X) } })
+	reg("sqrt", "sqrt(|x|) via Newton iteration",
+		func(w *Workload, y []float64) func() { return func() { SqrtSVE(y, w.X) } })
+}
+
+//ookami:cold -- benchmark registration shim on the driver path, not a kernel
+func init() { registerLoops() }

@@ -1,0 +1,51 @@
+// Benchmark registration: the six NPB pseudo-applications at class S
+// (the class the test suite executes) as named workloads in the
+// internal/bench registry.
+package npb
+
+import (
+	"fmt"
+	"strings"
+
+	"ookami/internal/bench"
+	"ookami/internal/omp"
+)
+
+// benchRegThreads fixes the team size so baseline and current runs
+// measure the same parallel configuration regardless of host core
+// count.
+const benchRegThreads = 2
+
+// registerNPB wires the suite into the bench registry. Each timed
+// iteration is one full verified run — an unverified checksum is a
+// correctness bug, surfaced as a panic the runner isolates.
+//
+//ookami:cold -- benchmark registration shim on the driver path, not a kernel
+func registerNPB() {
+	for _, b := range Suite() {
+		b := b
+		bench.Register(bench.Workload{
+			Name: "npb/" + strings.ToLower(b.Name()) + "-s",
+			Doc:  "NPB " + b.Name() + " class S, full verified run",
+			Params: map[string]string{
+				"class":   ClassS.String(),
+				"threads": fmt.Sprint(benchRegThreads),
+			},
+			Setup: func() (func(), error) {
+				team := omp.NewTeam(benchRegThreads)
+				return func() {
+					r, err := b.Run(ClassS, team)
+					if err != nil {
+						panic(err)
+					}
+					if !r.Verified {
+						panic("npb bench: " + b.Name() + " failed verification")
+					}
+				}, nil
+			},
+		})
+	}
+}
+
+//ookami:cold -- benchmark registration shim on the driver path, not a kernel
+func init() { registerNPB() }

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 )
 
@@ -18,15 +19,22 @@ type Summary struct {
 	Max    float64
 }
 
-// Summarize computes summary statistics for xs. It returns a zero Summary
-// for an empty sample.
+// Summarize computes summary statistics for xs. An empty sample and a
+// sample containing NaN both yield NaN statistics (with N recording the
+// input length): a zero Mean would read as a real measurement, which is
+// exactly how a silently-broken benchmark harness fakes a speedup.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
-		return Summary{}
+		nan := math.NaN()
+		return Summary{N: 0, Mean: nan, Stddev: nan, Min: nan, Max: nan}
 	}
 	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
 	sum := 0.0
 	for _, x := range xs {
+		if math.IsNaN(x) {
+			nan := math.NaN()
+			return Summary{N: len(xs), Mean: nan, Stddev: nan, Min: nan, Max: nan}
+		}
 		sum += x
 		if x < s.Min {
 			s.Min = x
@@ -47,7 +55,7 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
-// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
 func Mean(xs []float64) float64 { return Summarize(xs).Mean }
 
 // Stddev returns the sample standard deviation of xs.
@@ -82,6 +90,75 @@ func Median(xs []float64) float64 {
 		return ys[n/2]
 	}
 	return 0.5 * (ys[n/2-1] + ys[n/2])
+}
+
+// CoV returns the coefficient of variation stddev/|mean| — the
+// run-to-run noise measure the benchmark runner gates on. It is NaN for
+// empty or NaN-contaminated samples and for a zero mean, and 0 for a
+// single-sample input (no spread information).
+func CoV(xs []float64) float64 {
+	s := Summarize(xs)
+	if s.N == 0 || math.IsNaN(s.Mean) || s.Mean == 0 {
+		return math.NaN()
+	}
+	return s.Stddev / math.Abs(s.Mean)
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between order statistics, without mutating xs.
+// It is NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	if p <= 0 {
+		return ys[0]
+	}
+	if p >= 100 {
+		return ys[len(ys)-1]
+	}
+	pos := p / 100 * float64(len(ys)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return ys[lo]
+	}
+	frac := pos - float64(lo)
+	return ys[lo]*(1-frac) + ys[hi]*frac
+}
+
+// BootstrapCI computes a percentile-bootstrap confidence interval for
+// stat(xs) at confidence conf (e.g. 0.95) from iters resamples drawn
+// with a deterministic generator seeded by seed, so repeated analyses
+// of the same sample agree bit-for-bit. It returns (NaN, NaN) for an
+// empty sample and the degenerate interval (x, x) for a single sample.
+func BootstrapCI(xs []float64, stat func([]float64) float64, conf float64, iters int, seed int64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	if len(xs) == 1 {
+		v := stat(xs)
+		return v, v
+	}
+	if iters <= 0 {
+		iters = 1000
+	}
+	if conf <= 0 || conf >= 1 {
+		conf = 0.95
+	}
+	rng := rand.New(rand.NewSource(seed))
+	resample := make([]float64, len(xs))
+	vals := make([]float64, iters)
+	for i := range vals {
+		for j := range resample {
+			resample[j] = xs[rng.Intn(len(xs))]
+		}
+		vals[i] = stat(resample)
+	}
+	alpha := (1 - conf) / 2
+	return Percentile(vals, 100*alpha), Percentile(vals, 100*(1-alpha))
 }
 
 // Relative divides every element of xs by base, producing the

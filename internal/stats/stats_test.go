@@ -24,12 +24,81 @@ func TestSummarize(t *testing.T) {
 }
 
 func TestSummarizeEmptyAndSingle(t *testing.T) {
-	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+	// Empty input must not masquerade as a measured zero.
+	if s := Summarize(nil); s.N != 0 || !math.IsNaN(s.Mean) || !math.IsNaN(s.Min) || !math.IsNaN(s.Max) || !math.IsNaN(s.Stddev) {
 		t.Errorf("empty summary %+v", s)
 	}
 	s := Summarize([]float64{7})
 	if s.N != 1 || s.Mean != 7 || s.Stddev != 0 {
 		t.Errorf("single summary %+v", s)
+	}
+}
+
+func TestSummarizeNaNContamination(t *testing.T) {
+	s := Summarize([]float64{1, math.NaN(), 3})
+	if s.N != 3 || !math.IsNaN(s.Mean) || !math.IsNaN(s.Min) || !math.IsNaN(s.Max) || !math.IsNaN(s.Stddev) {
+		t.Errorf("NaN-contaminated summary should be all-NaN, got %+v", s)
+	}
+}
+
+func TestCoV(t *testing.T) {
+	if c := CoV([]float64{2, 2, 2}); c != 0 {
+		t.Errorf("CoV of constant sample = %v", c)
+	}
+	// mean 3, sample stddev 1 -> CoV 1/3.
+	if c := CoV([]float64{2, 3, 4}); !almost(c, 1.0/3.0, 1e-12) {
+		t.Errorf("CoV = %v", c)
+	}
+	if c := CoV(nil); !math.IsNaN(c) {
+		t.Errorf("CoV of empty = %v", c)
+	}
+	if c := CoV([]float64{0, 0}); !math.IsNaN(c) {
+		t.Errorf("CoV with zero mean = %v", c)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("p0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 4 {
+		t.Errorf("p100 = %v", p)
+	}
+	if p := Percentile(xs, 50); !almost(p, 2.5, 1e-12) {
+		t.Errorf("p50 = %v", p)
+	}
+	if xs[0] != 4 {
+		t.Errorf("Percentile mutated input: %v", xs)
+	}
+	if p := Percentile(nil, 50); !math.IsNaN(p) {
+		t.Errorf("empty percentile = %v", p)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	xs := []float64{10, 11, 9, 10.5, 9.5, 10, 10.2, 9.8}
+	lo, hi := BootstrapCI(xs, Median, 0.95, 500, 1)
+	if !(lo <= hi) {
+		t.Fatalf("inverted CI [%v, %v]", lo, hi)
+	}
+	if lo < 9 || hi > 11 {
+		t.Errorf("CI [%v, %v] outside sample range", lo, hi)
+	}
+	m := Median(xs)
+	if m < lo || m > hi {
+		t.Errorf("median %v outside CI [%v, %v]", m, lo, hi)
+	}
+	// Determinism: same seed, same interval.
+	lo2, hi2 := BootstrapCI(xs, Median, 0.95, 500, 1)
+	if lo != lo2 || hi != hi2 {
+		t.Errorf("bootstrap not deterministic: [%v,%v] vs [%v,%v]", lo, hi, lo2, hi2)
+	}
+	if l, h := BootstrapCI(nil, Median, 0.95, 10, 1); !math.IsNaN(l) || !math.IsNaN(h) {
+		t.Errorf("empty CI = [%v, %v]", l, h)
+	}
+	if l, h := BootstrapCI([]float64{5}, Median, 0.95, 10, 1); l != 5 || h != 5 {
+		t.Errorf("single-sample CI = [%v, %v]", l, h)
 	}
 }
 
@@ -186,6 +255,39 @@ func TestTableCSVQuoting(t *testing.T) {
 	if !strings.Contains(csv, `"has ""quote"", comma"`) {
 		t.Errorf("csv quoting wrong: %q", csv)
 	}
+}
+
+func TestTableCSVControlCharacters(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("line\nbreak", "carriage\rreturn")
+	tb.AddRow("plain", "cells")
+	csv := tb.CSV()
+	if !strings.Contains(csv, "\"line\nbreak\"") {
+		t.Errorf("LF cell not quoted: %q", csv)
+	}
+	if !strings.Contains(csv, "\"carriage\rreturn\"") {
+		t.Errorf("CR cell not quoted: %q", csv)
+	}
+	// The quoted control characters must not add records: header + 2 rows.
+	if got := csvRecordCount(csv); got != 3 {
+		t.Errorf("record count = %d, want 3 in %q", got, csv)
+	}
+}
+
+// csvRecordCount counts RFC 4180 records, honoring quoted fields.
+func csvRecordCount(s string) int {
+	records, inQuote := 0, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inQuote = !inQuote
+		case '\n':
+			if !inQuote {
+				records++
+			}
+		}
+	}
+	return records
 }
 
 func TestFormat3(t *testing.T) {

@@ -82,7 +82,8 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table in RFC-4180-ish CSV (quotes only where needed).
+// CSV renders the table as RFC 4180 CSV: cells containing a comma,
+// quote, CR or LF are quoted, with embedded quotes doubled.
 func (t *Table) CSV() string {
 	var b strings.Builder
 	writeRow := func(cells []string) {
@@ -90,7 +91,7 @@ func (t *Table) CSV() string {
 			if i > 0 {
 				b.WriteByte(',')
 			}
-			if strings.ContainsAny(c, ",\"\n") {
+			if strings.ContainsAny(c, ",\"\r\n") {
 				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
 			}
 			b.WriteString(c)

@@ -1,0 +1,53 @@
+// Benchmark registration: the 7-point Jacobi stencil as named
+// workloads in the internal/bench registry.
+package stencil
+
+import (
+	"fmt"
+
+	"ookami/internal/bench"
+	"ookami/internal/omp"
+)
+
+const (
+	benchRegN       = 48
+	benchRegThreads = 2
+)
+
+// registerStencil wires the scalar and parallel stencil sweeps into
+// the bench registry.
+//
+//ookami:cold -- benchmark registration shim on the driver path, not a kernel
+func registerStencil() {
+	setup := func(run func(out, g *Grid3)) func() (func(), error) {
+		return func() (func(), error) {
+			g := NewGrid3(benchRegN)
+			for i := range g.U {
+				g.U[i] = float64(i%13) * 0.1
+			}
+			out := NewGrid3(benchRegN)
+			return func() { run(out, g) }, nil
+		}
+	}
+	params := map[string]string{"n": fmt.Sprint(benchRegN), "threads": fmt.Sprint(benchRegThreads)}
+	bench.Register(bench.Workload{
+		Name:   "stencil/seven7",
+		Doc:    "7-point Jacobi sweep, SVE form",
+		Params: params,
+		Setup: setup(func(out, g *Grid3) {
+			Seven7SVE(out, g, 0.4, 0.1)
+		}),
+	})
+	team := omp.NewTeam(benchRegThreads)
+	bench.Register(bench.Workload{
+		Name:   "stencil/seven7-parallel",
+		Doc:    "7-point Jacobi sweep on the simulated OpenMP team",
+		Params: params,
+		Setup: setup(func(out, g *Grid3) {
+			Seven7Parallel(team, out, g, 0.4, 0.1)
+		}),
+	})
+}
+
+//ookami:cold -- benchmark registration shim on the driver path, not a kernel
+func init() { registerStencil() }

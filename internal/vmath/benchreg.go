@@ -1,0 +1,68 @@
+// Benchmark registration: the FEXPA exp variants and the other vector
+// math kernels as named workloads in the internal/bench registry.
+package vmath
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ookami/internal/bench"
+)
+
+// benchRegN matches the root harness's 4096-element math-loop vectors.
+const benchRegN = 4096
+
+// benchVec builds a deterministic input vector on [lo, hi).
+//
+//ookami:cold -- benchmark setup on the driver path, not a kernel
+func benchVec(n int, seed int64, lo, hi float64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return xs
+}
+
+// registerVmath wires the math kernels into the bench registry.
+//
+//ookami:cold -- benchmark registration shim on the driver path, not a kernel
+func registerVmath() {
+	reg := func(kernel, doc string, setup func() (func(), error)) {
+		bench.Register(bench.Workload{
+			Name:   "vmath/" + kernel,
+			Doc:    doc,
+			Params: map[string]string{"n": fmt.Sprint(benchRegN), "seed": "1"},
+			Setup:  setup,
+		})
+	}
+	reg("exp-horner", "FEXPA exp, Horner polynomial", func() (func(), error) {
+		xs := benchVec(benchRegN, 1, -700, 700)
+		dst := make([]float64, benchRegN)
+		return func() { Exp(dst, xs, Horner) }, nil
+	})
+	reg("exp-estrin", "FEXPA exp, Estrin polynomial", func() (func(), error) {
+		xs := benchVec(benchRegN, 1, -700, 700)
+		dst := make([]float64, benchRegN)
+		return func() { Exp(dst, xs, Estrin) }, nil
+	})
+	reg("exp-serial", "serial libm-style exp reference", func() (func(), error) {
+		xs := benchVec(benchRegN, 1, -700, 700)
+		dst := make([]float64, benchRegN)
+		return func() { ExpSerial(dst, xs) }, nil
+	})
+	reg("sin", "vector sin", func() (func(), error) {
+		xs := benchVec(benchRegN, 1, -3, 3)
+		dst := make([]float64, benchRegN)
+		return func() { Sin(dst, xs) }, nil
+	})
+	reg("pow", "vector pow over positive bases", func() (func(), error) {
+		xs := benchVec(benchRegN, 1, 0.1, 10)
+		pw := benchVec(benchRegN, 2, -3, 3)
+		dst := make([]float64, benchRegN)
+		return func() { Pow(dst, xs, pw) }, nil
+	})
+}
+
+//ookami:cold -- benchmark registration shim on the driver path, not a kernel
+func init() { registerVmath() }
