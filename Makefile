@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet compilerdiag baseline check bench benchgate benchrecord gobench figures
+.PHONY: build test race vet compilerdiag baseline check bench benchgate benchrecord gobench figures trace-smoke
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,16 @@ benchgate:
 # performance change; the JSON diff is part of the PR under review.
 benchrecord:
 	$(GO) run ./cmd/ookami-bench record -update-baseline
+
+# Trace smoke: run one NPB kernel with tracing on, then exercise both
+# exporters through cmd/ookami-trace — the summary must aggregate and
+# the conversion must round-trip (if ookami-trace reads the converted
+# file, chrome://tracing will too). See docs/OBSERVABILITY.md.
+trace-smoke:
+	$(GO) run ./cmd/npbrun -bench EP -class S -threads 4 -model=false -trace trace_ep.json
+	$(GO) run ./cmd/ookami-trace summary trace_ep.json
+	$(GO) run ./cmd/ookami-trace chrome -o trace_ep.chrome.json trace_ep.json
+	$(GO) run ./cmd/ookami-trace summary trace_ep.chrome.json > /dev/null
 
 # The raw `go test -bench` harness (figures/tables + kernel wall-clock).
 gobench:

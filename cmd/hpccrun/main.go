@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"ookami/internal/blas"
@@ -21,6 +22,7 @@ import (
 	"ookami/internal/mpi"
 	"ookami/internal/omp"
 	"ookami/internal/rng"
+	"ookami/internal/trace"
 )
 
 func main() {
@@ -33,8 +35,12 @@ func main() {
 	fftOnly := flag.Bool("fft", false, "only the FFT study")
 	stream := flag.Bool("stream", false, "only the STREAM/RandomAccess study")
 	dist := flag.Bool("dist", false, "only the distributed (message-passing) HPL/FFT runs")
+	traceOut := flag.String("trace", "", "trace the run: write Chrome trace_event JSON to `file` and print a summary (OOKAMI_TRACE also enables)")
 	flag.Parse()
 	all := !*dgemm && !*hpl && !*fftOnly && !*stream && !*dist
+	if *traceOut != "" {
+		trace.Enable()
+	}
 
 	team := omp.NewTeam(*threads)
 
@@ -55,6 +61,14 @@ func main() {
 	}
 	if all || *dist {
 		runDistributed(*n)
+	}
+
+	path := *traceOut
+	if path == "" {
+		path = trace.EnvPath()
+	}
+	if err := trace.Finish(path, os.Stdout); err != nil {
+		log.Fatalf("trace: %v", err)
 	}
 }
 

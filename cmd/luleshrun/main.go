@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
 	"time"
 
 	"ookami/internal/figures"
 	"ookami/internal/lulesh"
 	"ookami/internal/omp"
+	"ookami/internal/trace"
 )
 
 func main() {
@@ -25,7 +27,11 @@ func main() {
 	n := flag.Int("n", 12, "elements per cube edge")
 	cycles := flag.Int("cycles", 200, "time steps")
 	threads := flag.Int("threads", 0, "worker threads (0: GOMAXPROCS)")
+	traceOut := flag.String("trace", "", "trace the run: write Chrome trace_event JSON to `file` and print a summary (OOKAMI_TRACE also enables)")
 	flag.Parse()
+	if *traceOut != "" {
+		trace.Enable()
+	}
 
 	team := omp.NewTeam(*threads)
 	for _, v := range []lulesh.Variant{lulesh.Base, lulesh.Vect} {
@@ -47,4 +53,12 @@ func main() {
 
 	fmt.Println()
 	fmt.Println(figures.TableII())
+
+	path := *traceOut
+	if path == "" {
+		path = trace.EnvPath()
+	}
+	if err := trace.Finish(path, os.Stdout); err != nil {
+		log.Fatalf("trace: %v", err)
+	}
 }

@@ -11,12 +11,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
 	"ookami/internal/figures"
 	"ookami/internal/npb"
 	"ookami/internal/omp"
+	"ookami/internal/trace"
 )
 
 func main() {
@@ -26,7 +28,11 @@ func main() {
 	class := flag.String("class", "S", "problem class: S, W, A (larger classes take long in emulation)")
 	threads := flag.Int("threads", 0, "worker threads (0: GOMAXPROCS)")
 	model := flag.Bool("model", true, "print the class C model figures afterwards")
+	traceOut := flag.String("trace", "", "trace the run: write Chrome trace_event JSON to `file` and print a summary (OOKAMI_TRACE also enables)")
 	flag.Parse()
+	if *traceOut != "" {
+		trace.Enable()
+	}
 
 	team := omp.NewTeam(*threads)
 	up := strings.ToUpper(*class)
@@ -67,5 +73,15 @@ func main() {
 		fmt.Println(figures.Fig4())
 		fmt.Println(figures.Fig5())
 		fmt.Println(figures.Fig6())
+	}
+
+	// No-op unless tracing ran; the summary goes to stdout alongside
+	// the results, the Chrome JSON to -trace (or the OOKAMI_TRACE path).
+	path := *traceOut
+	if path == "" {
+		path = trace.EnvPath()
+	}
+	if err := trace.Finish(path, os.Stdout); err != nil {
+		log.Fatalf("trace: %v", err)
 	}
 }

@@ -9,7 +9,7 @@
 //
 //	ookami-bench list
 //	ookami-bench run [-filter regex] [-repeats n] [-warmup n] [-timeout d]
-//	                 [-cov f] [-retries n] [-out file] [-json] [-q]
+//	                 [-cov f] [-retries n] [-out file] [-trace file] [-json] [-q]
 //	ookami-bench compare [-baseline file] [-current file]
 //	                     [-threshold f] [-noise-mult f]
 //	ookami-bench record -update-baseline [run flags]
@@ -31,6 +31,7 @@ import (
 	"sort"
 
 	"ookami/internal/bench"
+	"ookami/internal/trace"
 
 	// Kernel packages register their workloads from init functions.
 	_ "ookami/internal/blas"
@@ -96,7 +97,8 @@ func usage(p *printer) {
 	p.f("usage: ookami-bench <list|run|compare|record> [flags]\n")
 	p.f("  list                      list registered workloads\n")
 	p.f("  run     [-filter re] [-repeats n] [-warmup n] [-timeout d] [-cov f]\n")
-	p.f("          [-retries n] [-out file] [-json] [-q]   run and store results\n")
+	p.f("          [-retries n] [-out file] [-trace file] [-json] [-q]\n")
+	p.f("                            run and store results\n")
 	p.f("  compare [-baseline file] [-current file] [-threshold f] [-noise-mult f]\n")
 	p.f("                            diff against a baseline; exit 1 on regression\n")
 	p.f("  record  -update-baseline [run flags]            rewrite the committed baseline\n")
@@ -136,7 +138,7 @@ func paramString(params map[string]string) string {
 }
 
 // runFlags defines the flags shared by `run` and `record`.
-func runFlags(fs *flag.FlagSet) (filter *string, opt *bench.Options, jsonOut, quiet *bool, outPath *string) {
+func runFlags(fs *flag.FlagSet) (filter *string, opt *bench.Options, jsonOut, quiet *bool, outPath, tracePath *string) {
 	filter = fs.String("filter", "", "regexp selecting workload names (default: all)")
 	opt = &bench.Options{}
 	fs.IntVar(&opt.Repeats, "repeats", 0, "timed samples per workload (default 5)")
@@ -147,21 +149,22 @@ func runFlags(fs *flag.FlagSet) (filter *string, opt *bench.Options, jsonOut, qu
 	jsonOut = fs.Bool("json", false, "also write the report JSON to stdout")
 	quiet = fs.Bool("q", false, "suppress per-workload progress")
 	outPath = fs.String("out", bench.DefaultReportPath, "result file to write")
+	tracePath = fs.String("trace", "", "trace the run: write Chrome trace_event JSON to `file` (OOKAMI_TRACE also enables)")
 	return
 }
 
 func cmdRun(args []string, out, errOut *printer) int {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	fs.SetOutput(errOut.w)
-	filter, opt, jsonOut, quiet, outPath := runFlags(fs)
+	filter, opt, jsonOut, quiet, outPath, tracePath := runFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	return doRun(*filter, *opt, *jsonOut, *quiet, *outPath, out, errOut)
+	return doRun(*filter, *opt, *jsonOut, *quiet, *outPath, *tracePath, out, errOut)
 }
 
 // doRun executes the selected workloads and writes the report.
-func doRun(filter string, opt bench.Options, jsonOut, quiet bool, outPath string, out, errOut *printer) int {
+func doRun(filter string, opt bench.Options, jsonOut, quiet bool, outPath, tracePath string, out, errOut *printer) int {
 	ws, err := bench.Match(filter)
 	if err != nil {
 		errOut.f("ookami-bench: %v\n", err)
@@ -174,7 +177,19 @@ func doRun(filter string, opt bench.Options, jsonOut, quiet bool, outPath string
 	if !quiet {
 		opt.Log = errOut.w
 	}
+	if tracePath != "" {
+		trace.Enable()
+	}
 	rep := bench.RunAll(context.Background(), ws, opt)
+	if tp := effectiveTracePath(tracePath); tp != "" || trace.Enabled() {
+		if err := trace.Finish(tp, nil); err != nil {
+			errOut.f("ookami-bench: trace: %v\n", err)
+			return 1
+		}
+		if tp != "" && !quiet {
+			errOut.f("ookami-bench: trace -> %s\n", tp)
+		}
+	}
 	if err := rep.WriteFile(outPath); err != nil {
 		errOut.f("ookami-bench: %v\n", err)
 		return 1
@@ -202,6 +217,15 @@ func doRun(filter string, opt bench.Options, jsonOut, quiet bool, outPath string
 		return 1
 	}
 	return 0
+}
+
+// effectiveTracePath resolves where the trace file goes: the -trace
+// flag wins, else a path-valued OOKAMI_TRACE.
+func effectiveTracePath(flagPath string) string {
+	if flagPath != "" {
+		return flagPath
+	}
+	return trace.EnvPath()
 }
 
 // firstLine truncates multi-line errors (panic stacks) for the console.
@@ -261,7 +285,7 @@ func cmdCompare(args []string, out, errOut *printer) int {
 func cmdRecord(args []string, out, errOut *printer) int {
 	fs := flag.NewFlagSet("record", flag.ContinueOnError)
 	fs.SetOutput(errOut.w)
-	filter, opt, jsonOut, quiet, _ := runFlags(fs)
+	filter, opt, jsonOut, quiet, _, tracePath := runFlags(fs)
 	update := fs.Bool("update-baseline", false, "required: rewrite the committed baseline")
 	baseline := fs.String("baseline", bench.DefaultBaselinePath, "baseline file to write")
 	if err := fs.Parse(args); err != nil {
@@ -275,5 +299,5 @@ func cmdRecord(args []string, out, errOut *printer) int {
 		// Baselines deserve more samples than ad-hoc runs.
 		opt.Repeats = 7
 	}
-	return doRun(*filter, *opt, *jsonOut, *quiet, *baseline, out, errOut)
+	return doRun(*filter, *opt, *jsonOut, *quiet, *baseline, *tracePath, out, errOut)
 }

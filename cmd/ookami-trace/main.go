@@ -1,0 +1,157 @@
+// Command ookami-trace inspects trace files produced by the runtimes'
+// OOKAMI_TRACE instrumentation (Chrome trace_event JSON).
+//
+//	ookami-trace summary FILE        per-region/thread/barrier text report
+//	ookami-trace chrome  FILE        normalize to canonical Chrome JSON
+//	ookami-trace cat     FILE        dump events one per line
+//
+// `chrome` exists because the native file format already IS Chrome
+// trace_event JSON: it re-emits the file in canonical, sorted form (and
+// accepts the bare-array variant some tools write), so it doubles as a
+// validation pass — if ookami-trace can read it, chrome://tracing can.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ookami/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// printer accumulates the first write error so output problems surface
+// in the exit code instead of being silently dropped.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) f(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+// run is the testable entry point; it returns the process exit code
+// (0 ok, 1 failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	out := &printer{w: stdout}
+	errOut := &printer{w: stderr}
+	if len(args) < 1 {
+		usage(errOut)
+		return 2
+	}
+	var code int
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "summary":
+		code = cmdSummary(rest, out, errOut)
+	case "chrome":
+		code = cmdChrome(rest, out, errOut)
+	case "cat":
+		code = cmdCat(rest, out, errOut)
+	case "help", "-h", "--help":
+		usage(out)
+	default:
+		errOut.f("ookami-trace: unknown command %q\n", cmd)
+		usage(errOut)
+		code = 2
+	}
+	if code == 0 && (out.err != nil || errOut.err != nil) {
+		return 1
+	}
+	return code
+}
+
+func usage(p *printer) {
+	p.f("usage: ookami-trace <command> [flags] FILE\n")
+	p.f("  summary FILE          per-region text summary (iterations/thread,\n")
+	p.f("                        chunk-size histogram, max barrier skew)\n")
+	p.f("  chrome [-o OUT] FILE  normalize to canonical Chrome trace_event JSON\n")
+	p.f("                        (stdout unless -o)\n")
+	p.f("  cat FILE              list events one per line, sorted by timestamp\n")
+}
+
+// load reads and parses one trace file argument.
+func load(args []string, errOut *printer) (*trace.Trace, int) {
+	if len(args) != 1 {
+		errOut.f("ookami-trace: expected exactly one FILE argument\n")
+		return nil, 2
+	}
+	tr, err := trace.LoadFile(args[0])
+	if err != nil {
+		errOut.f("ookami-trace: %v\n", err)
+		return nil, 1
+	}
+	return tr, 0
+}
+
+func cmdSummary(args []string, out, errOut *printer) int {
+	tr, code := load(args, errOut)
+	if tr == nil {
+		return code
+	}
+	if err := tr.WriteSummary(out.w); err != nil {
+		errOut.f("ookami-trace: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func cmdChrome(args []string, out, errOut *printer) int {
+	fs := flag.NewFlagSet("chrome", flag.ContinueOnError)
+	fs.SetOutput(errOut.w)
+	outPath := fs.String("o", "", "write to `file` instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	tr, code := load(fs.Args(), errOut)
+	if tr == nil {
+		return code
+	}
+	var err error
+	if *outPath != "" {
+		err = tr.WriteFile(*outPath)
+	} else {
+		err = tr.WriteChrome(out.w)
+	}
+	if err != nil {
+		errOut.f("ookami-trace: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func cmdCat(args []string, out, errOut *printer) int {
+	tr, code := load(args, errOut)
+	if tr == nil {
+		return code
+	}
+	evs := append([]trace.Event(nil), tr.Events...)
+	trace.SortEvents(evs)
+	for i := range evs {
+		ev := &evs[i]
+		out.f("%12d ns  %c  tid=%-3d %s/%s", ev.TS, ev.Ph, ev.TID, ev.Cat, ev.Name)
+		if ev.Region != "" {
+			out.f("  region=%s", ev.Region)
+		}
+		if ev.Ph == trace.PhaseSpan {
+			out.f("  dur=%d ns", ev.Dur)
+		}
+		for _, a := range ev.Args {
+			if a.Key != "" {
+				out.f("  %s=%d", a.Key, a.Val)
+			}
+		}
+		out.f("\n")
+	}
+	if tr.Dropped > 0 {
+		out.f("(%d event(s) dropped to ring-buffer overflow)\n", tr.Dropped)
+	}
+	return 0
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ookami/internal/trace"
+)
+
+// writeFixture produces a real trace file via the collector.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	trace.Disable()
+	trace.Enable()
+	defer trace.Disable()
+	trace.Emit(trace.Event{TS: 0, Dur: 4000, Ph: trace.PhaseSpan,
+		TID: trace.RegionTID, Cat: trace.CatOMP, Name: trace.NameFor,
+		Region: "for#1(Guided)",
+		Args: [3]trace.Arg{{Key: trace.ArgLo, Val: 0}, {Key: trace.ArgN, Val: 32},
+			{Key: trace.ArgWorkers, Val: 2}}})
+	trace.Emit(trace.Event{TS: 10, Ph: trace.PhaseInstant, TID: 0,
+		Cat: trace.CatOMP, Name: trace.NameChunk, Region: "for#1(Guided)",
+		Args: [3]trace.Arg{{Key: trace.ArgLo, Val: 0}, {Key: trace.ArgN, Val: 32}}})
+	trace.Count(trace.CatMPI, trace.CounterSendMsgs, 1, 5)
+	path := filepath.Join(t.TempDir(), "fixture.json")
+	if err := trace.Finish(path, nil); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return path
+}
+
+func TestSummaryCommand(t *testing.T) {
+	path := writeFixture(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"summary", path}, &out, &errOut); code != 0 {
+		t.Fatalf("summary exited %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"for#1(Guided)", "iters=32", "send.msgs"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestChromeCommandRoundTrips(t *testing.T) {
+	path := writeFixture(t)
+	conv := filepath.Join(t.TempDir(), "chrome.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"chrome", "-o", conv, path}, &out, &errOut); code != 0 {
+		t.Fatalf("chrome exited %d: %s", code, errOut.String())
+	}
+	tr, err := trace.LoadFile(conv)
+	if err != nil {
+		t.Fatalf("converted file does not load: %v", err)
+	}
+	if len(tr.Events) != 2 || len(tr.Counters) != 1 {
+		t.Fatalf("conversion lost data: %d events, %d counters", len(tr.Events), len(tr.Counters))
+	}
+
+	// To stdout, and the output must be valid trace_event JSON.
+	out.Reset()
+	if code := run([]string{"chrome", path}, &out, &errOut); code != 0 {
+		t.Fatalf("chrome(stdout) exited %d: %s", code, errOut.String())
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &f); err != nil {
+		t.Fatalf("stdout is not trace_event JSON: %v", err)
+	}
+	if len(f.TraceEvents) != 3 {
+		t.Fatalf("stdout has %d traceEvents, want 3", len(f.TraceEvents))
+	}
+}
+
+func TestCatCommand(t *testing.T) {
+	path := writeFixture(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"cat", path}, &out, &errOut); code != 0 {
+		t.Fatalf("cat exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "omp/chunk") || !strings.Contains(out.String(), "lo=0") {
+		t.Fatalf("cat output incomplete:\n%s", out.String())
+	}
+}
+
+func TestUsageAndErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no args exited %d, want 2", code)
+	}
+	if code := run([]string{"bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown command exited %d, want 2", code)
+	}
+	if code := run([]string{"summary", "/nonexistent/trace.json"}, &out, &errOut); code != 1 {
+		t.Fatalf("missing file exited %d, want 1", code)
+	}
+	if code := run([]string{"help"}, &out, &errOut); code != 0 {
+		t.Fatalf("help exited %d, want 0", code)
+	}
+}

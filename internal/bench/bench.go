@@ -54,6 +54,13 @@ const (
 	// within the retry budget. Samples and statistics are still
 	// recorded, flagged as untrustworthy.
 	ErrNoisy ErrKind = "noisy"
+	// ErrInvalidSample: the sample set is degenerate — fewer than two
+	// samples (the CoV gate has nothing to gate on), a non-finite or
+	// negative sample, or an all-zero set (the workload ran below
+	// timer resolution). The raw samples are recorded but no derived
+	// statistics are, so NaN can never reach the JSON report (which
+	// encoding/json would refuse to write, losing the whole file).
+	ErrInvalidSample ErrKind = "invalid-sample"
 )
 
 // RunError is the typed error a failed workload surfaces in its Result.

@@ -59,12 +59,14 @@ type Result struct {
 	Min    float64 `json:"min"`
 	Max    float64 `json:"max"`
 	CoV    float64 `json:"cov"`
-	CILow  float64 `json:"ciLow"`  // 95% percentile-bootstrap CI of the median
+	CILow  float64 `json:"ciLow"` // 95% percentile-bootstrap CI of the median
 	CIHigh float64 `json:"ciHigh"`
 
 	// Error and ErrKind record a typed failure ("setup", "panic",
-	// "timeout", "noisy"); on "noisy" the statistics above are still
-	// populated from the last sample set.
+	// "timeout", "noisy", "invalid-sample"); on "noisy" the statistics
+	// above are still populated from the last sample set, on
+	// "invalid-sample" only the raw Samples are (derived statistics
+	// over a degenerate set would be NaN, which JSON cannot store).
 	Error   string  `json:"error,omitempty"`
 	ErrKind ErrKind `json:"errKind,omitempty"`
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ookami/internal/stats"
+	"ookami/internal/trace"
 )
 
 // Options configures a run. Zero fields take defaults.
@@ -147,7 +148,12 @@ func runOne(parent context.Context, w Workload, opt Options) Result {
 			res.Error = out.err.Msg
 			res.ErrKind = out.err.Kind
 		}
-		if len(out.samples) > 0 {
+		if res.ErrKind == ErrInvalidSample {
+			// Keep the raw samples for forensics but no derived
+			// statistics: a degenerate set yields NaN CoV/CIs, and one
+			// NaN field makes the whole report unwritable.
+			res.Samples = out.samples
+		} else if len(out.samples) > 0 {
 			fillStats(&res, out.samples)
 		}
 	case <-ctx.Done():
@@ -175,16 +181,20 @@ func sample(ctx context.Context, w Workload, opt Options, ch chan<- outcome) {
 		out.err = &RunError{Kind: ErrSetup, Workload: w.Name, Msg: err.Error()}
 		return
 	}
+	warmT0 := phaseStart()
 	for i := 0; i < opt.Warmup; i++ {
 		if ctx.Err() != nil {
 			return
 		}
 		iter()
 	}
+	emitPhase(w.Name, trace.NameWarmup, warmT0,
+		trace.Arg{Key: trace.ArgN, Val: int64(opt.Warmup)}, trace.Arg{}, trace.Arg{})
 
 	backoff := opt.Backoff
 	for attempt := 0; attempt <= opt.Retries; attempt++ {
 		out.attempts = attempt + 1
+		sampT0 := phaseStart()
 		samples := make([]float64, 0, opt.Repeats)
 		for i := 0; i < opt.Repeats; i++ {
 			if ctx.Err() != nil {
@@ -195,7 +205,18 @@ func sample(ctx context.Context, w Workload, opt Options, ch chan<- outcome) {
 			samples = append(samples, time.Since(t0).Seconds())
 		}
 		out.samples = samples
+		if reason := degenerate(samples); reason != "" {
+			out.err = &RunError{Kind: ErrInvalidSample, Workload: w.Name, Msg: reason}
+			emitPhase(w.Name, trace.NameSamples, sampT0,
+				trace.Arg{Key: trace.ArgAttempt, Val: int64(attempt + 1)},
+				trace.Arg{Key: trace.ArgN, Val: int64(len(samples))}, trace.Arg{})
+			return
+		}
 		cov := stats.CoV(samples)
+		emitPhase(w.Name, trace.NameSamples, sampT0,
+			trace.Arg{Key: trace.ArgAttempt, Val: int64(attempt + 1)},
+			trace.Arg{Key: trace.ArgN, Val: int64(len(samples))},
+			trace.Arg{Key: trace.ArgCovPPM, Val: int64(cov * 1e6)})
 		if cov <= opt.MaxCoV {
 			out.err = nil
 			return
@@ -203,14 +224,66 @@ func sample(ctx context.Context, w Workload, opt Options, ch chan<- outcome) {
 		out.err = &RunError{Kind: ErrNoisy, Workload: w.Name,
 			Msg: fmt.Sprintf("CoV %.1f%% above gate %.1f%% after %d attempt(s)", 100*cov, 100*opt.MaxCoV, attempt+1)}
 		if attempt < opt.Retries {
+			backT0 := phaseStart()
 			select {
 			case <-time.After(backoff):
 			case <-ctx.Done():
 				return
 			}
+			emitPhase(w.Name, trace.NameBackoff, backT0,
+				trace.Arg{Key: trace.ArgAttempt, Val: int64(attempt + 1)}, trace.Arg{}, trace.Arg{})
 			backoff *= 2
 		}
 	}
+}
+
+// degenerate reports why a sample set cannot face the CoV gate: too
+// few samples to measure dispersion, a non-finite or negative sample,
+// or an all-zero set (a zero mean makes the CoV NaN — the workload ran
+// below timer resolution). Empty string means the set is usable.
+func degenerate(samples []float64) string {
+	if len(samples) < 2 {
+		return fmt.Sprintf("%d sample(s): the CoV interference gate needs at least 2", len(samples))
+	}
+	allZero := true
+	for _, s := range samples {
+		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+			return fmt.Sprintf("non-finite or negative sample %v", s)
+		}
+		if s > 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		return "all samples are zero: workload runs below timer resolution; grow the problem size"
+	}
+	return ""
+}
+
+// phaseStart stamps a runner phase when tracing is enabled.
+func phaseStart() int64 {
+	if !trace.Enabled() {
+		return 0
+	}
+	return trace.Now()
+}
+
+// emitPhase records one runner phase span (warmup, a sample-set
+// attempt, a backoff pause) for the workload.
+func emitPhase(workload, name string, t0 int64, a0, a1, a2 trace.Arg) {
+	if !trace.Enabled() {
+		return
+	}
+	trace.Emit(trace.Event{
+		TS:     t0,
+		Dur:    trace.Now() - t0,
+		Ph:     trace.PhaseSpan,
+		TID:    0,
+		Cat:    trace.CatBench,
+		Name:   name,
+		Region: workload,
+		Args:   [3]trace.Arg{a0, a1, a2},
+	})
 }
 
 // fillStats populates the statistics fields from a sample set. The
@@ -223,6 +296,16 @@ func fillStats(res *Result, samples []float64) {
 	res.Median = stats.Median(samples)
 	res.CoV = stats.CoV(samples)
 	res.CILow, res.CIHigh = stats.BootstrapCI(samples, stats.Median, 0.95, 1000, nameSeed(res.Name))
+	// Last-resort guard: encoding/json refuses NaN/Inf, and one bad
+	// field would lose the entire report file. The runner classifies
+	// degenerate sets as ErrInvalidSample before reaching here, so a
+	// non-finite statistic on this path is a bug — store zeros rather
+	// than an unwritable report.
+	for _, p := range []*float64{&res.Mean, &res.Min, &res.Max, &res.Median, &res.CoV, &res.CILow, &res.CIHigh} {
+		if math.IsNaN(*p) || math.IsInf(*p, 0) {
+			*p = 0
+		}
+	}
 }
 
 // nameSeed hashes a workload name into a bootstrap seed.

@@ -11,10 +11,13 @@ package mpi
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ookami/internal/trace"
 )
 
 // World is a communicator: `size` ranks with all-to-all mailboxes.
@@ -32,16 +35,22 @@ type Comm struct {
 }
 
 // Run executes fn on `size` ranks concurrently and waits for all of them.
-// It returns the world for post-run inspection (traffic counters).
+// It returns the world for post-run inspection (traffic counters). A
+// malformed OOKAMI_MPI_TIMEOUT is reported once on stderr (watchdog
+// disabled) rather than silently ignored.
 func Run(size int, fn func(c *Comm)) *World {
 	if size < 1 {
 		panic("mpi: size must be >= 1")
+	}
+	timeout, err := TimeoutFromEnv()
+	if err != nil {
+		warnTimeoutEnv(err)
 	}
 	w := &World{
 		size:      size,
 		mailboxes: make([][]chan any, size),
 		bytesSent: make([]int64, size),
-		barrier:   newBarrier(size, timeoutFromEnv()),
+		barrier:   newBarrier(size, timeout),
 	}
 	for s := range w.mailboxes {
 		w.mailboxes[s] = make([]chan any, size)
@@ -107,7 +116,12 @@ func (c *Comm) Send(dst int, v any) {
 	case []complex128:
 		v = append([]complex128(nil), x...)
 	}
-	atomic.AddInt64(&c.w.bytesSent[c.rank], payloadBytes(v))
+	nb := payloadBytes(v)
+	atomic.AddInt64(&c.w.bytesSent[c.rank], nb)
+	if trace.Enabled() {
+		trace.Count(trace.CatMPI, trace.CounterSendMsgs, c.rank, 1)
+		trace.Count(trace.CatMPI, trace.CounterSendBytes, c.rank, nb)
+	}
 	c.w.mailboxes[c.rank][dst] <- v
 }
 
@@ -241,18 +255,58 @@ func (c *Comm) GatherF64(root int, buf []float64) [][]float64 {
 	return nil
 }
 
-// timeoutFromEnv reads OOKAMI_MPI_TIMEOUT. Unset, empty, unparsable or
-// non-positive values disable the deadlock watchdog (the default).
-func timeoutFromEnv() time.Duration {
+// TimeoutEnvError reports a rejected OOKAMI_MPI_TIMEOUT value. The
+// watchdog falls back to its default (disabled), but the rejection is
+// typed and warned about once instead of being silently swallowed — a
+// suite "protected" by a mistyped timeout would otherwise hang exactly
+// like one with no watchdog at all.
+type TimeoutEnvError struct {
+	Raw string // the environment value as given
+	Err error  // why it was rejected
+}
+
+// Error implements error.
+func (e *TimeoutEnvError) Error() string {
+	return fmt.Sprintf("mpi: invalid OOKAMI_MPI_TIMEOUT %q: %v (deadlock watchdog disabled)", e.Raw, e.Err)
+}
+
+// Unwrap exposes the parse failure.
+func (e *TimeoutEnvError) Unwrap() error { return e.Err }
+
+// errNegativeTimeout rejects sub-zero durations.
+var errNegativeTimeout = fmt.Errorf("negative duration")
+
+// TimeoutFromEnv reads OOKAMI_MPI_TIMEOUT. Unset, empty, or "0" (any
+// zero duration) disable the deadlock watchdog — the default. An
+// unparsable or negative value returns a *TimeoutEnvError along with
+// the disabled default.
+func TimeoutFromEnv() (time.Duration, error) {
 	v := os.Getenv("OOKAMI_MPI_TIMEOUT")
 	if v == "" {
-		return 0
+		return 0, nil
 	}
 	d, err := time.ParseDuration(v)
-	if err != nil || d <= 0 {
-		return 0
+	if err != nil {
+		return 0, &TimeoutEnvError{Raw: v, Err: err}
 	}
-	return d
+	if d < 0 {
+		return 0, &TimeoutEnvError{Raw: v, Err: errNegativeTimeout}
+	}
+	return d, nil
+}
+
+// timeoutWarned makes the env warning once-per-process; warnOut is a
+// variable so tests can capture the warning.
+var (
+	timeoutWarned atomic.Bool
+	warnOut       io.Writer = os.Stderr
+)
+
+// warnTimeoutEnv surfaces a rejected timeout value exactly once.
+func warnTimeoutEnv(err error) {
+	if timeoutWarned.CompareAndSwap(false, true) {
+		fmt.Fprintln(warnOut, err)
+	}
 }
 
 // barrier is a reusable phase barrier. Each phase has a release channel
@@ -263,14 +317,22 @@ type barrier struct {
 	mu      sync.Mutex
 	n       int
 	count   int
+	id      int64         // process-wide instance id, disambiguates trace regions
+	phase   int64         // completed-phase counter, keys barrier trace regions
 	arrived []bool        // per rank: waiting in the current phase
 	release chan struct{} // closed when the current phase completes
 	timeout time.Duration // 0 = wait forever
 }
 
+// barrierSeq numbers barrier instances process-wide: sequential worlds
+// all start their phase counter at 0, so the phase alone would merge
+// unrelated barriers in a trace summary.
+var barrierSeq int64
+
 func newBarrier(n int, timeout time.Duration) *barrier {
 	return &barrier{
 		n:       n,
+		id:      atomic.AddInt64(&barrierSeq, 1),
 		arrived: make([]bool, n),
 		//ookami:nolint synchygiene -- close-only broadcast channel, never sent on
 		release: make(chan struct{}),
@@ -278,14 +340,26 @@ func newBarrier(n int, timeout time.Duration) *barrier {
 	}
 }
 
+// traceRegion keys one phase of this barrier instance in the trace.
+func (b *barrier) traceRegion(phase int64) string {
+	return "barrier" + trace.Itoa(b.id) + "#" + trace.Itoa(phase)
+}
+
 func (b *barrier) wait(rank int) {
+	traced := trace.Enabled()
+	var t0 int64
+	if traced {
+		t0 = trace.Now()
+	}
 	b.mu.Lock()
+	phase := b.phase
 	b.arrived[rank] = true
 	b.count++
 	release := b.release
 	if b.count == b.n {
 		// Last rank in: reset for the next phase and release everyone.
 		b.count = 0
+		b.phase++
 		for i := range b.arrived {
 			b.arrived[i] = false
 		}
@@ -293,24 +367,36 @@ func (b *barrier) wait(rank int) {
 		b.release = make(chan struct{})
 		close(release)
 		b.mu.Unlock()
+		if traced {
+			b.emitBarrierWait(rank, phase, t0)
+		}
 		return
 	}
 	b.mu.Unlock()
 
 	if b.timeout <= 0 {
 		<-release
+		if traced {
+			b.emitBarrierWait(rank, phase, t0)
+		}
 		return
 	}
 	timer := time.NewTimer(b.timeout)
 	defer timer.Stop()
 	select {
 	case <-release:
+		if traced {
+			b.emitBarrierWait(rank, phase, t0)
+		}
 	case <-timer.C:
 		b.mu.Lock()
 		select {
 		case <-release:
 			// Completed in the instant the timer fired: not a deadlock.
 			b.mu.Unlock()
+			if traced {
+				b.emitBarrierWait(rank, phase, t0)
+			}
 			return
 		default:
 		}
@@ -323,8 +409,32 @@ func (b *barrier) wait(rank int) {
 			}
 		}
 		b.mu.Unlock()
+		if traced {
+			trace.Emit(trace.Event{
+				TS:     trace.Now(),
+				Ph:     trace.PhaseInstant,
+				TID:    rank,
+				Cat:    trace.CatMPI,
+				Name:   trace.NameWatchdog,
+				Region: b.traceRegion(phase),
+			})
+		}
 		panic(fmt.Sprintf(
 			"mpi: barrier deadlock after %v: waiting rank(s) %v, missing rank(s) %v never arrived",
 			b.timeout, waiting, missing))
 	}
+}
+
+// emitBarrierWait records one rank's barrier wait as a span keyed by
+// the barrier instance and the phase it waited in.
+func (b *barrier) emitBarrierWait(rank int, phase int64, t0 int64) {
+	trace.Emit(trace.Event{
+		TS:     t0,
+		Dur:    trace.Now() - t0,
+		Ph:     trace.PhaseSpan,
+		TID:    rank,
+		Cat:    trace.CatMPI,
+		Name:   trace.NameBarrierWait,
+		Region: b.traceRegion(phase),
+	})
 }

@@ -217,17 +217,21 @@ func TestBarrierTimeoutNamesMissingRank(t *testing.T) {
 // without the env var: barriers complete normally and reuse cleanly.
 func TestBarrierTimeoutDisabledByDefault(t *testing.T) {
 	t.Setenv("OOKAMI_MPI_TIMEOUT", "")
-	b := newBarrier(2, timeoutFromEnv())
+	d, err := TimeoutFromEnv()
+	if err != nil {
+		t.Fatalf("empty env: unexpected error %v", err)
+	}
+	b := newBarrier(2, d)
 	if b.timeout != 0 {
 		t.Fatalf("timeout %v, want disabled", b.timeout)
 	}
 	t.Setenv("OOKAMI_MPI_TIMEOUT", "not-a-duration")
-	if d := timeoutFromEnv(); d != 0 {
-		t.Fatalf("unparsable timeout yielded %v, want disabled", d)
+	if d, err := TimeoutFromEnv(); d != 0 || err == nil {
+		t.Fatalf("unparsable timeout yielded (%v, %v), want (0, error)", d, err)
 	}
 	t.Setenv("OOKAMI_MPI_TIMEOUT", "3s")
-	if d := timeoutFromEnv(); d != 3e9 {
-		t.Fatalf("timeout %v, want 3s", d)
+	if d, err := TimeoutFromEnv(); d != 3e9 || err != nil {
+		t.Fatalf("timeout (%v, %v), want (3s, nil)", d, err)
 	}
 }
 

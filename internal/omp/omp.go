@@ -14,6 +14,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"ookami/internal/trace"
 )
 
 // Schedule selects how iterations are divided among threads.
@@ -29,6 +31,21 @@ const (
 	// Guided hands out geometrically shrinking chunks.
 	Guided
 )
+
+// String names the schedule as it appears in traces and test output.
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "Static"
+	case StaticChunk:
+		return "StaticChunk"
+	case Dynamic:
+		return "Dynamic"
+	case Guided:
+		return "Guided"
+	}
+	return "Schedule(?)"
+}
 
 // Team is a reusable group of worker threads of fixed size.
 type Team struct {
@@ -49,9 +66,23 @@ func (t *Team) Size() int { return t.n }
 // Parallel runs fn(tid) once on every team member concurrently and waits
 // for all of them (an omp parallel region).
 func (t *Team) Parallel(fn func(tid int)) {
+	rt := beginRegion(trace.NameParallel, 0, 0, t.n, t.n)
+	t.run(t.n, func(tid int) {
+		w := rt.worker(tid)
+		fn(tid)
+		w.end()
+	})
+	rt.end()
+}
+
+// run spawns `workers` goroutines executing fn(tid) and waits for all
+// of them — the untraced spawning core shared by Parallel and the
+// worksharing schedules (which clamp workers below the team size when
+// the range is smaller than the team).
+func (t *Team) run(workers int, fn func(tid int)) {
 	var wg sync.WaitGroup
-	wg.Add(t.n)
-	for tid := 0; tid < t.n; tid++ {
+	wg.Add(workers)
+	for tid := 0; tid < workers; tid++ {
 		go func(id int) {
 			defer wg.Done()
 			fn(id)
@@ -72,59 +103,74 @@ func (t *Team) For(lo, hi int, sched Schedule, chunk int, fn func(i int)) {
 
 // ForRange is like For but hands each thread whole [a, b) blocks — the
 // form the kernels use so that inner loops stay vectorizable.
+//
+// The worker count is clamped to min(team size, iterations): a large
+// team over a tiny range spawns one goroutine per iteration at most,
+// instead of t.n goroutines that wake only to find the range exhausted.
 func (t *Team) ForRange(lo, hi int, sched Schedule, chunk int, fn func(a, b int)) {
 	n := hi - lo
 	if n <= 0 {
 		return
 	}
+	workers := t.n
+	if workers > n {
+		workers = n
+	}
+	rt := beginRegion(trace.NameFor, sched, lo, n, workers)
 	switch sched {
 	case Static:
-		t.Parallel(func(tid int) {
-			a := lo + tid*n/t.n
-			b := lo + (tid+1)*n/t.n
+		t.run(workers, func(tid int) {
+			w := rt.worker(tid)
+			a := lo + tid*n/workers
+			b := lo + (tid+1)*n/workers
 			if a < b {
+				w.grant(a, b)
 				fn(a, b)
 			}
+			w.end()
 		})
 	case StaticChunk:
-		c := chunkOrDefault(chunk, n, t.n)
-		t.Parallel(func(tid int) {
-			for a := lo + tid*c; a < hi; a += t.n * c {
+		c := chunkOrDefault(chunk, n, workers)
+		t.run(workers, func(tid int) {
+			w := rt.worker(tid)
+			for a := lo + tid*c; a < hi; a += workers * c {
 				b := a + c
 				if b > hi {
 					b = hi
 				}
+				w.grant(a, b)
 				fn(a, b)
 			}
+			w.end()
 		})
 	case Dynamic:
-		c := chunkOrDefault(chunk, n, t.n*8)
+		c := chunkOrDefault(chunk, n, workers*8)
 		var next int64 = int64(lo)
-		t.Parallel(func(tid int) {
+		t.run(workers, func(tid int) {
+			w := rt.worker(tid)
 			for {
-				a := int(atomic.AddInt64(&next, int64(c))) - c
-				if a >= hi {
-					return
+				a, b, ok := grabChunk(&next, int64(hi), int64(c))
+				if !ok {
+					break
 				}
-				b := a + c
-				if b > hi {
-					b = hi
-				}
+				w.grant(a, b)
 				fn(a, b)
 			}
+			w.end()
 		})
 	case Guided:
 		var mu sync.Mutex
 		pos := lo
 		minChunk := chunkOrDefault(chunk, 1, 1)
-		t.Parallel(func(tid int) {
+		t.run(workers, func(tid int) {
+			w := rt.worker(tid)
 			for {
 				mu.Lock()
 				if pos >= hi {
 					mu.Unlock()
-					return
+					break
 				}
-				c := (hi - pos) / (2 * t.n)
+				c := (hi - pos) / (2 * workers)
 				if c < minChunk {
 					c = minChunk
 				}
@@ -135,11 +181,36 @@ func (t *Team) ForRange(lo, hi int, sched Schedule, chunk int, fn func(a, b int)
 				}
 				pos = b
 				mu.Unlock()
+				w.grant(a, b)
 				fn(a, b)
 			}
+			w.end()
 		})
 	default:
 		panic("omp: unknown schedule")
+	}
+	rt.end()
+}
+
+// grabChunk claims the next [a, b) block from the shared Dynamic-
+// schedule cursor. A compare-and-swap loop clamps the cursor at hi, so
+// it never advances past the range: the old fetch-and-add version kept
+// incrementing the cursor on every exhausted-range probe, which let
+// chunk*workers overshoot wrap int64 and hand out chunks from bogus
+// (even negative) offsets.
+func grabChunk(next *int64, hi, c int64) (a, b int, ok bool) {
+	for {
+		cur := atomic.LoadInt64(next)
+		if cur >= hi {
+			return 0, 0, false
+		}
+		nxt := cur + c
+		if nxt > hi || nxt < cur { // nxt < cur: int64 overflow on a huge chunk
+			nxt = hi
+		}
+		if atomic.CompareAndSwapInt64(next, cur, nxt) {
+			return int(cur), int(nxt), true
+		}
 	}
 }
 
@@ -217,19 +288,33 @@ type Barrier struct {
 	n     int
 	count int
 	phase int
+	id    int64 // instance id keying trace regions
 }
+
+var barrierSeq int64
 
 // NewBarrier creates a barrier for n participants.
 func NewBarrier(n int) *Barrier {
-	b := &Barrier{n: n}
+	b := &Barrier{n: n, id: atomic.AddInt64(&barrierSeq, 1)}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
-// Wait blocks until all n participants have called Wait.
+// Wait blocks until all n participants have called Wait. On traced
+// runs each participant's wait is recorded as a span keyed by barrier
+// instance and phase, with the arrival order standing in for a thread
+// id (Wait has no tid parameter); the spread of the spans is the
+// barrier skew. Distinct Barrier instances get distinct regions so
+// sequential barriers never merge in the summary.
 func (b *Barrier) Wait() {
+	traced := trace.Enabled()
+	var t0 int64
+	if traced {
+		t0 = trace.Now()
+	}
 	b.mu.Lock()
 	phase := b.phase
+	arrival := b.count
 	b.count++
 	if b.count == b.n {
 		b.count = 0
@@ -241,4 +326,15 @@ func (b *Barrier) Wait() {
 		}
 	}
 	b.mu.Unlock()
+	if traced {
+		trace.Emit(trace.Event{
+			TS:     t0,
+			Dur:    trace.Now() - t0,
+			Ph:     trace.PhaseSpan,
+			TID:    arrival,
+			Cat:    trace.CatOMP,
+			Name:   trace.NameBarrierWait,
+			Region: "barrier" + trace.Itoa(b.id) + "#" + trace.Itoa(int64(phase)),
+		})
+	}
 }

@@ -1,6 +1,10 @@
 package omp
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"ookami/internal/trace"
+)
 
 // PageTracker records which NUMA domain each page of a simulated
 // allocation lands on, reproducing Section V's placement experiment: under
@@ -32,11 +36,15 @@ func NewPageTracker(n, elemSize int) *PageTracker {
 
 // Touch records that element i was first touched by a thread on the given
 // NUMA domain. Subsequent touches of the same page do not move it
-// (first-touch semantics).
+// (first-touch semantics). On traced runs every page claim increments
+// the per-domain placement counter — claims, not touches, so the event
+// volume is bounded by the page count even from element-grain loops.
 func (pt *PageTracker) Touch(i, numa int) {
 	p := i * pt.bytesPerElem / PageSize
 	if p >= 0 && p < len(pt.pages) {
-		atomic.CompareAndSwapInt32(&pt.pages[p], -1, int32(numa))
+		if atomic.CompareAndSwapInt32(&pt.pages[p], -1, int32(numa)) && trace.Enabled() {
+			trace.Count(trace.CatOMP, trace.CounterPagesTouched, numa, 1)
+		}
 	}
 }
 
@@ -45,8 +53,14 @@ func (pt *PageTracker) TouchRange(a, b, numa int) {
 	if a < 0 {
 		a = 0
 	}
+	claimed := int64(0)
 	for p := a * pt.bytesPerElem / PageSize; p <= (b-1)*pt.bytesPerElem/PageSize && p < len(pt.pages); p++ {
-		atomic.CompareAndSwapInt32(&pt.pages[p], -1, int32(numa))
+		if atomic.CompareAndSwapInt32(&pt.pages[p], -1, int32(numa)) {
+			claimed++
+		}
+	}
+	if claimed > 0 && trace.Enabled() {
+		trace.Count(trace.CatOMP, trace.CounterPagesTouched, numa, claimed)
 	}
 }
 

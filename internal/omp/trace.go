@@ -1,0 +1,118 @@
+package omp
+
+// Tracing glue between the runtime and internal/trace. Every helper is
+// nil-safe: an untraced run (OOKAMI_TRACE unset) constructs no state
+// and the per-grant calls reduce to a nil check, so the schedules pay
+// nothing when observability is off.
+
+import (
+	"sync/atomic"
+
+	"ookami/internal/trace"
+)
+
+// regionSeq numbers parallel regions process-wide so concurrent teams
+// produce distinct region keys.
+var regionSeq int64
+
+// regionTrace is the tracing state of one traced parallel region; the
+// nil *regionTrace is the disabled no-op.
+type regionTrace struct {
+	region  string
+	kind    string // trace.NameFor or trace.NameParallel
+	t0      int64
+	lo, n   int64
+	workers int64
+}
+
+// beginRegion opens a region trace, or returns nil when tracing is off.
+func beginRegion(kind string, sched Schedule, lo, n, workers int) *regionTrace {
+	if !trace.Enabled() {
+		return nil
+	}
+	id := atomic.AddInt64(&regionSeq, 1)
+	name := kind + "#" + trace.Itoa(id)
+	if kind == trace.NameFor {
+		name += "(" + sched.String() + ")"
+	}
+	return &regionTrace{
+		region:  name,
+		kind:    kind,
+		t0:      trace.Now(),
+		lo:      int64(lo),
+		n:       int64(n),
+		workers: int64(workers),
+	}
+}
+
+// end emits the region span after all workers have joined.
+func (rt *regionTrace) end() {
+	if rt == nil {
+		return
+	}
+	trace.Emit(trace.Event{
+		TS:     rt.t0,
+		Dur:    trace.Now() - rt.t0,
+		Ph:     trace.PhaseSpan,
+		TID:    trace.RegionTID,
+		Cat:    trace.CatOMP,
+		Name:   rt.kind,
+		Region: rt.region,
+		Args: [3]trace.Arg{
+			{Key: trace.ArgLo, Val: rt.lo},
+			{Key: trace.ArgN, Val: rt.n},
+			{Key: trace.ArgWorkers, Val: rt.workers},
+		},
+	})
+}
+
+// workerTrace tracks one worker goroutine's share of a region. The
+// zero value (untraced) is inert.
+type workerTrace struct {
+	rt  *regionTrace
+	tid int
+	t0  int64
+}
+
+// worker opens a per-thread work span.
+func (rt *regionTrace) worker(tid int) workerTrace {
+	if rt == nil {
+		return workerTrace{}
+	}
+	return workerTrace{rt: rt, tid: tid, t0: trace.Now()}
+}
+
+// grant records one chunk handed to this worker.
+func (w workerTrace) grant(a, b int) {
+	if w.rt == nil {
+		return
+	}
+	trace.Emit(trace.Event{
+		TS:     trace.Now(),
+		Ph:     trace.PhaseInstant,
+		TID:    w.tid,
+		Cat:    trace.CatOMP,
+		Name:   trace.NameChunk,
+		Region: w.rt.region,
+		Args: [3]trace.Arg{
+			{Key: trace.ArgLo, Val: int64(a)},
+			{Key: trace.ArgN, Val: int64(b - a)},
+		},
+	})
+}
+
+// end emits this worker's work span.
+func (w workerTrace) end() {
+	if w.rt == nil {
+		return
+	}
+	trace.Emit(trace.Event{
+		TS:     w.t0,
+		Dur:    trace.Now() - w.t0,
+		Ph:     trace.PhaseSpan,
+		TID:    w.tid,
+		Cat:    trace.CatOMP,
+		Name:   trace.NameWork,
+		Region: w.rt.region,
+	})
+}

@@ -1,0 +1,239 @@
+package trace
+
+// The on-disk trace format IS the Chrome trace_event JSON object
+// format, so a file written by any driver loads directly in
+// chrome://tracing or Perfetto with no conversion step, while
+// cmd/ookami-trace reads the same file back for summaries. Our
+// metadata (schema version, drop count, wall time) rides in the
+// spec-sanctioned "otherData" object, and structured event fields
+// (region, numeric args) ride in each event's "args".
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// FileSchema versions the otherData metadata this package writes.
+const FileSchema = 1
+
+// chromeEvent mirrors one trace_event entry. Timestamps are
+// microseconds (fractional, preserving ns) per the trace_event spec.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the object form of the trace_event format.
+type chromeFile struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit,omitempty"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// argRegion is the reserved args key carrying Event.Region.
+const argRegion = "region"
+
+// WriteChrome writes the snapshot as Chrome trace_event JSON.
+func (tr *Trace) WriteChrome(w io.Writer) error {
+	f := chromeFile{
+		TraceEvents:     make([]chromeEvent, 0, len(tr.Events)+len(tr.Counters)),
+		DisplayTimeUnit: "ns",
+		OtherData: map[string]any{
+			"schema":    FileSchema,
+			"tool":      "ookami-trace",
+			"wallNs":    tr.Wall,
+			"dropped":   tr.Dropped,
+			"nEvents":   len(tr.Events),
+			"nCounters": len(tr.Counters),
+		},
+	}
+	for _, ev := range tr.Events {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ph:   string(ev.Ph),
+			TS:   float64(ev.TS) / 1e3,
+			PID:  1,
+			TID:  ev.TID,
+		}
+		if ev.Ph == PhaseSpan {
+			ce.Dur = float64(ev.Dur) / 1e3
+		}
+		if ev.Region != "" || hasArgs(ev) {
+			ce.Args = make(map[string]any, 4)
+			if ev.Region != "" {
+				ce.Args[argRegion] = ev.Region
+			}
+			for _, a := range ev.Args {
+				if a.Key != "" {
+					ce.Args[a.Key] = a.Val
+				}
+			}
+		}
+		f.TraceEvents = append(f.TraceEvents, ce)
+	}
+	// Counters export as one "C" sample each at the snapshot time, so
+	// the totals are visible on the trace timeline as well as in the
+	// text summary.
+	for _, c := range tr.Counters {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: c.Name,
+			Cat:  c.Cat,
+			Ph:   string(rune(PhaseCounter)),
+			TS:   float64(tr.Wall) / 1e3,
+			PID:  1,
+			TID:  c.TID,
+			Args: map[string]any{"value": c.Val},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return nil
+}
+
+func hasArgs(ev Event) bool {
+	for _, a := range ev.Args {
+		if a.Key != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteFile writes the snapshot as a Chrome trace_event JSON file.
+func (tr *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	werr := tr.WriteChrome(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	if cerr != nil {
+		return fmt.Errorf("trace: close %s: %w", path, cerr)
+	}
+	return nil
+}
+
+// ReadChrome parses a trace previously written by WriteChrome. It also
+// accepts the bare-array trace_event form for traces produced by other
+// tools.
+func ReadChrome(r io.Reader) (*Trace, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		// Bare array form.
+		var evs []chromeEvent
+		if aerr := json.Unmarshal(data, &evs); aerr != nil {
+			return nil, fmt.Errorf("trace: parse: %w", err)
+		}
+		f.TraceEvents = evs
+	}
+	tr := &Trace{}
+	if f.OtherData != nil {
+		tr.Wall = int64FromAny(f.OtherData["wallNs"])
+		tr.Dropped = int64FromAny(f.OtherData["dropped"])
+	}
+	for _, ce := range f.TraceEvents {
+		if ce.Ph == "" {
+			continue
+		}
+		ph := ce.Ph[0]
+		if ph == PhaseCounter {
+			tr.Counters = append(tr.Counters, Counter{
+				Cat:  ce.Cat,
+				Name: ce.Name,
+				TID:  ce.TID,
+				Val:  int64FromAny(ce.Args["value"]),
+			})
+			continue
+		}
+		ev := Event{
+			TS:   int64(ce.TS * 1e3),
+			Dur:  int64(ce.Dur * 1e3),
+			Ph:   ph,
+			TID:  ce.TID,
+			Cat:  ce.Cat,
+			Name: ce.Name,
+		}
+		slot := 0
+		if ce.Args != nil {
+			if reg, ok := ce.Args[argRegion].(string); ok {
+				ev.Region = reg
+			}
+			for _, k := range sortedArgKeys(ce.Args) {
+				if k == argRegion || slot >= len(ev.Args) {
+					continue
+				}
+				if _, isNum := ce.Args[k].(float64); !isNum {
+					continue
+				}
+				ev.Args[slot] = Arg{Key: k, Val: int64FromAny(ce.Args[k])}
+				slot++
+			}
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	SortEvents(tr.Events)
+	sortCounters(tr.Counters)
+	return tr, nil
+}
+
+// LoadFile reads a trace file written by WriteFile.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	tr, err := ReadChrome(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// int64FromAny converts the number shapes encoding/json produces.
+func int64FromAny(v any) int64 {
+	switch x := v.(type) {
+	case float64:
+		return int64(x)
+	case int64:
+		return x
+	case int:
+		return int64(x)
+	case json.Number:
+		n, err := x.Int64()
+		if err != nil {
+			return 0
+		}
+		return n
+	}
+	return 0
+}
+
+func sortedArgKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

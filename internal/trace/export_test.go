@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Events: []Event{
+			{TS: 1000, Dur: 5000, Ph: PhaseSpan, TID: RegionTID, Cat: CatOMP,
+				Name: NameFor, Region: "for#1(Dynamic)",
+				Args: [3]Arg{{Key: ArgLo, Val: 0}, {Key: ArgN, Val: 64}, {Key: ArgWorkers, Val: 4}}},
+			{TS: 1500, Ph: PhaseInstant, TID: 2, Cat: CatOMP,
+				Name: NameChunk, Region: "for#1(Dynamic)",
+				Args: [3]Arg{{Key: ArgLo, Val: 16}, {Key: ArgN, Val: 16}}},
+			{TS: 2000, Dur: 3000, Ph: PhaseSpan, TID: 2, Cat: CatOMP,
+				Name: NameWork, Region: "for#1(Dynamic)"},
+		},
+		Counters: []Counter{
+			{Cat: CatMPI, Name: CounterSendMsgs, TID: 0, Val: 7},
+		},
+		Dropped: 3,
+		Wall:    9000,
+	}
+}
+
+// TestWriteChromeIsValidTraceEventJSON checks the on-disk shape against
+// what chrome://tracing requires: a top-level object with a traceEvents
+// array whose entries carry name/ph/ts/pid/tid.
+func TestWriteChromeIsValidTraceEventJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTrace().WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 3 events + 1 counter sample.
+	if len(f.TraceEvents) != 4 {
+		t.Fatalf("traceEvents has %d entries, want 4", len(f.TraceEvents))
+	}
+	for i, ce := range f.TraceEvents {
+		for _, k := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ce[k]; !ok {
+				t.Fatalf("traceEvents[%d] missing required key %q: %v", i, k, ce)
+			}
+		}
+	}
+	if got := f.TraceEvents[0]["ts"].(float64); got != 1.0 {
+		t.Fatalf("ts = %v µs, want 1.0 (1000 ns)", got)
+	}
+	if f.OtherData["dropped"].(float64) != 3 {
+		t.Fatalf("otherData.dropped = %v, want 3", f.OtherData["dropped"])
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	want := sampleTrace()
+	var buf bytes.Buffer
+	if err := want.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	got, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatalf("ReadChrome: %v", err)
+	}
+	if len(got.Events) != len(want.Events) {
+		t.Fatalf("round-trip kept %d events, want %d", len(got.Events), len(want.Events))
+	}
+	for i := range want.Events {
+		w, g := want.Events[i], got.Events[i]
+		if g.TS != w.TS || g.Dur != w.Dur || g.Ph != w.Ph || g.TID != w.TID ||
+			g.Cat != w.Cat || g.Name != w.Name || g.Region != w.Region {
+			t.Fatalf("event %d: got %+v, want %+v", i, g, w)
+		}
+		for _, a := range w.Args {
+			if a.Key == "" {
+				continue
+			}
+			if g.Arg(a.Key) != a.Val {
+				t.Fatalf("event %d arg %s: got %d, want %d", i, a.Key, g.Arg(a.Key), a.Val)
+			}
+		}
+	}
+	if len(got.Counters) != 1 || got.Counters[0].Val != 7 || got.Counters[0].Name != CounterSendMsgs {
+		t.Fatalf("counters did not round-trip: %+v", got.Counters)
+	}
+	if got.Dropped != 3 || got.Wall != 9000 {
+		t.Fatalf("metadata did not round-trip: dropped=%d wall=%d", got.Dropped, got.Wall)
+	}
+}
+
+func TestReadChromeBareArray(t *testing.T) {
+	in := `[{"name":"work","cat":"omp","ph":"X","ts":2,"dur":1,"pid":1,"tid":0}]`
+	tr, err := ReadChrome(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadChrome(bare array): %v", err)
+	}
+	if len(tr.Events) != 1 || tr.Events[0].Name != "work" || tr.Events[0].TS != 2000 {
+		t.Fatalf("bare array parsed wrong: %+v", tr.Events)
+	}
+}
+
+func TestReadChromeRejectsGarbage(t *testing.T) {
+	if _, err := ReadChrome(strings.NewReader("not json")); err == nil {
+		t.Fatal("ReadChrome accepted garbage")
+	}
+}
+
+func TestWriteLoadFile(t *testing.T) {
+	path := t.TempDir() + "/t.json"
+	if err := sampleTrace().WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	tr, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if len(tr.Events) != 3 {
+		t.Fatalf("loaded %d events, want 3", len(tr.Events))
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Fatal("LoadFile on a missing file succeeded")
+	}
+}

@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// withTracer runs fn with tracing enabled and guarantees the global
+// tracer is cleared afterwards, whatever fn does.
+func withTracer(t *testing.T, fn func()) *Trace {
+	t.Helper()
+	Disable()
+	Enable()
+	defer Disable()
+	fn()
+	return Stop()
+}
+
+func TestDisabledIsInert(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("tracer enabled at test start")
+	}
+	if Now() != 0 {
+		t.Fatal("Now() nonzero while disabled")
+	}
+	// No-ops must not panic or retain anything.
+	Emit(Event{Name: "x", Cat: CatOMP, Ph: PhaseInstant})
+	Count(CatOMP, CounterPagesTouched, 0, 1)
+	if tr := Stop(); tr != nil {
+		t.Fatalf("Stop() on disabled tracer returned %+v, want nil", tr)
+	}
+	if tr := Snapshot(); tr != nil {
+		t.Fatalf("Snapshot() on disabled tracer returned %+v, want nil", tr)
+	}
+	if err := Finish("", nil); err != nil {
+		t.Fatalf("Finish on disabled tracer: %v", err)
+	}
+}
+
+func TestEmitStopRoundTrip(t *testing.T) {
+	tr := withTracer(t, func() {
+		if !Enabled() {
+			t.Fatal("Enable did not enable")
+		}
+		Emit(Event{TS: 10, Dur: 5, Ph: PhaseSpan, TID: 1, Cat: CatOMP,
+			Name: NameWork, Region: "for#1(Static)"})
+		Emit(Event{TS: 2, Ph: PhaseInstant, TID: 0, Cat: CatOMP,
+			Name: NameChunk, Region: "for#1(Static)",
+			Args: [3]Arg{{Key: ArgLo, Val: 0}, {Key: ArgN, Val: 8}}})
+		Count(CatMPI, CounterSendMsgs, 3, 2)
+		Count(CatMPI, CounterSendMsgs, 3, 1)
+	})
+	if tr == nil {
+		t.Fatal("Stop returned nil after Enable")
+	}
+	if Enabled() {
+		t.Fatal("Stop left the tracer enabled")
+	}
+	if len(tr.Events) != 2 {
+		t.Fatalf("got %d events, want 2", len(tr.Events))
+	}
+	// SortEvents order: timestamps ascending.
+	if tr.Events[0].TS != 2 || tr.Events[1].TS != 10 {
+		t.Fatalf("events not time-ordered: %+v", tr.Events)
+	}
+	if got := tr.Events[0].Arg(ArgN); got != 8 {
+		t.Fatalf("ArgN = %d, want 8", got)
+	}
+	if got := tr.Events[0].Arg("missing"); got != 0 {
+		t.Fatalf("missing arg = %d, want 0", got)
+	}
+	if len(tr.Counters) != 1 || tr.Counters[0].Val != 3 {
+		t.Fatalf("counters = %+v, want one send.msgs with value 3", tr.Counters)
+	}
+	if tr.Dropped != 0 {
+		t.Fatalf("Dropped = %d, want 0", tr.Dropped)
+	}
+}
+
+func TestEnableIsIdempotent(t *testing.T) {
+	tr := withTracer(t, func() {
+		Emit(Event{TS: 1, Ph: PhaseInstant, Cat: CatOMP, Name: "a"})
+		Enable() // must keep the buffer, not reset it
+		Emit(Event{TS: 2, Ph: PhaseInstant, Cat: CatOMP, Name: "b"})
+	})
+	if len(tr.Events) != 2 {
+		t.Fatalf("re-Enable dropped events: got %d, want 2", len(tr.Events))
+	}
+}
+
+func TestRingOverflowCountsDrops(t *testing.T) {
+	t.Setenv("OOKAMI_TRACE_BUF", "4")
+	const emitted = 32
+	tr := withTracer(t, func() {
+		for i := 0; i < emitted; i++ {
+			// One TID so everything lands in one 4-slot shard.
+			Emit(Event{TS: int64(i), Ph: PhaseInstant, TID: 1, Cat: CatOMP, Name: "e"})
+		}
+	})
+	if len(tr.Events) != 4 {
+		t.Fatalf("kept %d events, want ring capacity 4", len(tr.Events))
+	}
+	if tr.Dropped != emitted-4 {
+		t.Fatalf("Dropped = %d, want %d", tr.Dropped, emitted-4)
+	}
+	// Newest-wins: the survivors are the last 4 emitted.
+	for i, ev := range tr.Events {
+		if want := int64(emitted - 4 + i); ev.TS != want {
+			t.Fatalf("event %d has TS %d, want %d (oldest surviving first)", i, ev.TS, want)
+		}
+	}
+}
+
+func TestConcurrentEmission(t *testing.T) {
+	const goroutines, perG = 32, 200
+	tr := withTracer(t, func() {
+		var wg sync.WaitGroup
+		wg.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			go func(tid int) {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					Emit(Event{TS: Now(), Ph: PhaseInstant, TID: tid, Cat: CatOMP, Name: "e"})
+					Count(CatOMP, CounterPagesTouched, tid%4, 1)
+				}
+			}(g)
+		}
+		wg.Wait()
+	})
+	if got := int64(len(tr.Events)) + tr.Dropped; got != goroutines*perG {
+		t.Fatalf("events+dropped = %d, want %d", got, goroutines*perG)
+	}
+	var total int64
+	for _, c := range tr.Counters {
+		total += c.Val
+	}
+	if total != goroutines*perG {
+		t.Fatalf("counter total = %d, want %d", total, goroutines*perG)
+	}
+}
+
+func TestEnvRequest(t *testing.T) {
+	cases := []struct {
+		val  string
+		on   bool
+		path string
+	}{
+		{"", false, ""},
+		{"0", false, ""},
+		{"false", false, ""},
+		{"OFF", false, ""},
+		{"no", false, ""},
+		{"1", true, ""},
+		{"true", true, ""},
+		{"ON", true, ""},
+		{"yes", true, ""},
+		{"/tmp/out.json", true, "/tmp/out.json"},
+	}
+	for _, c := range cases {
+		t.Setenv("OOKAMI_TRACE", c.val)
+		on, path := envRequest()
+		if on != c.on || path != c.path {
+			t.Errorf("OOKAMI_TRACE=%q: got (%v, %q), want (%v, %q)", c.val, on, path, c.on, c.path)
+		}
+		if EnvPath() != c.path {
+			t.Errorf("OOKAMI_TRACE=%q: EnvPath() = %q, want %q", c.val, EnvPath(), c.path)
+		}
+	}
+}
+
+func TestFinishWritesFileAndSummary(t *testing.T) {
+	Disable()
+	Enable()
+	defer Disable()
+	Emit(Event{TS: 1, Dur: 2, Ph: PhaseSpan, TID: RegionTID, Cat: CatOMP,
+		Name: NameFor, Region: "for#1(Static)",
+		Args: [3]Arg{{Key: ArgLo, Val: 0}, {Key: ArgN, Val: 4}, {Key: ArgWorkers, Val: 2}}})
+	path := t.TempDir() + "/trace.json"
+	var sb strings.Builder
+	if err := Finish(path, &sb); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if Enabled() {
+		t.Fatal("Finish left tracing enabled")
+	}
+	tr, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile after Finish: %v", err)
+	}
+	if len(tr.Events) != 1 {
+		t.Fatalf("reloaded %d events, want 1", len(tr.Events))
+	}
+	if !strings.Contains(sb.String(), "for#1(Static)") {
+		t.Fatalf("summary missing region:\n%s", sb.String())
+	}
+}
