@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet compilerdiag baseline check bench benchgate benchrecord gobench figures trace-smoke
+.PHONY: build test race vet compilerdiag baseline concsurface concbaseline check fuzz-cfg bench benchgate benchrecord gobench figures trace-smoke
 
 build:
 	$(GO) build ./...
@@ -28,12 +28,29 @@ compilerdiag:
 baseline:
 	$(GO) run ./cmd/ookami-vet -compilerdiag -update-baseline
 
+# Diff the concurrency surface (goroutine spawns, lock acquisitions,
+# channel makes) of the simulated-runtime packages against the
+# checked-in baseline; any new site fails until acknowledged.
+concsurface:
+	$(GO) run ./cmd/ookami-vet -concsurface
+
+# Re-record the concurrency-surface baseline after an intentionally
+# added spawn/lock/chan site. The JSON diff is part of the PR review.
+concbaseline:
+	$(GO) run ./cmd/ookami-vet -concsurface -update-baseline
+
 # The full gate: what a PR must keep green.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) run ./cmd/ookami-vet ./...
 	$(GO) run ./cmd/ookami-vet -compilerdiag
+	$(GO) run ./cmd/ookami-vet -concsurface
+
+# Short fuzz pass over the CFG builder: any parseable function body
+# must yield a total, well-formed graph.
+fuzz-cfg:
+	$(GO) test ./internal/analysis/cfg -fuzz=FuzzCFG -fuzztime=30s
 
 # Run the registered workloads through the orchestrator and store
 # BENCH_ookami.json (warmup + repeats, CoV interference gate, bootstrap

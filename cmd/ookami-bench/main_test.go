@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ookami/internal/bench"
+	"ookami/internal/testutil"
 )
 
 // TestRegistryCoverage pins the acceptance floor: the linked kernel
@@ -71,6 +72,7 @@ func TestUsageAndBadSubcommand(t *testing.T) {
 // checks the stored report carries the schema, environment and
 // per-workload median/CI/CoV the acceptance criteria require.
 func TestRunEmitsSchemaVersionedJSON(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_ookami.json")
 	var out, errOut bytes.Buffer
@@ -108,6 +110,7 @@ func TestRunEmitsSchemaVersionedJSON(t *testing.T) {
 // record a baseline for a registered workload, make the same workload
 // 2x slower, and require `compare` to exit nonzero naming it.
 func TestCompareFlagsInjectedSlowdown(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
 	const name = "e2e/adjustable"
 	var delay atomic.Int64
 	delay.Store(int64(8 * time.Millisecond))

@@ -2,17 +2,25 @@
 // repro-specific checks (determinism of golden-producing packages, float
 // equality, synchronization hygiene of the simulated runtimes, benchmark
 // harness hygiene, dropped errors in the CLIs) that `go vet` has no
-// opinion on, plus the hot-path performance lints for the kernel
-// packages. It exits nonzero when any analyzer reports a finding.
+// opinion on, the hot-path performance lints for the kernel packages,
+// and the interprocedural concurrency analyzers (lock ordering,
+// goroutine join edges, atomic/plain mixing, WaitGroup and mutex
+// protocol) from internal/analysis/conc. It exits nonzero when any
+// analyzer reports a finding.
 //
 // Usage:
 //
-//	ookami-vet [-list] [-json] [-only determinism,floateq] [packages]
+//	ookami-vet [-list] [-json] [-only determinism,lockorder] [packages]
 //	ookami-vet -compilerdiag [-update-baseline] [-baseline file] [packages]
+//	ookami-vet -concsurface [-update-baseline] [-baseline file] [packages]
 //
 // Packages default to ./... resolved against the enclosing module. A
 // finding is suppressed by an `//ookami:nolint <analyzer> -- reason`
 // comment on the flagged line or the line above it.
+//
+// With -json, findings are emitted as newline-delimited JSON objects
+// ordered by (file, line, col, analyzer); see docs/ANALYSIS.md for the
+// schema.
 //
 // With -compilerdiag, instead of the AST analyzers the command builds
 // the kernel packages with `-gcflags='-m -d=ssa/check_bce/debug=1'`,
@@ -20,6 +28,13 @@
 // functions, and diffs them against the checked-in baseline. Any new
 // diagnostic is a regression and exits nonzero; -update-baseline
 // rewrites the baseline after an intentional change.
+//
+// With -concsurface, the command records every goroutine spawn, lock
+// acquisition and channel make in the concurrent runtime packages
+// (internal/{bench,mpi,omp,trace} by default) and diffs the set against
+// the checked-in baseline — growing the concurrency surface without
+// -update-baseline is a CI failure, so new spawn/lock/channel sites are
+// always an explicit decision.
 package main
 
 import (
@@ -32,11 +47,20 @@ import (
 	"strings"
 
 	"ookami/internal/analysis"
+	"ookami/internal/analysis/conc"
 )
 
-// defaultBaseline is the checked-in compilerdiag baseline, relative to
-// the module root.
-const defaultBaseline = "internal/analysis/baseline/compilerdiag.json"
+// Default baseline files, relative to the module root, per mode.
+const (
+	defaultCompilerBaseline = "internal/analysis/baseline/compilerdiag.json"
+	defaultSurfaceBaseline  = "internal/analysis/baseline/concsurface.json"
+)
+
+// allAnalyzers is the full suite: the core analyzers plus the
+// concurrency pass.
+func allAnalyzers() []analysis.Analyzer {
+	return append(analysis.All(), conc.Analyzers()...)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -45,15 +69,19 @@ func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	jsonOut := flag.Bool("json", false, "emit one finding per line as JSON")
 	compilerDiag := flag.Bool("compilerdiag", false, "diff compiler escape/BCE diagnostics against the baseline instead of running analyzers")
-	updateBaseline := flag.Bool("update-baseline", false, "with -compilerdiag: rewrite the baseline from the current diagnostics")
-	baselinePath := flag.String("baseline", defaultBaseline, "with -compilerdiag: baseline file, relative to the module root")
+	concSurface := flag.Bool("concsurface", false, "diff the runtime packages' concurrency surface (go/lock/chan sites) against the baseline")
+	updateBaseline := flag.Bool("update-baseline", false, "with -compilerdiag or -concsurface: rewrite the baseline from the current state")
+	baselinePath := flag.String("baseline", "", "with -compilerdiag or -concsurface: baseline file, relative to the module root (default per mode)")
 	flag.Parse()
 
 	if *list {
-		for _, a := range analysis.All() {
+		for _, a := range allAnalyzers() {
 			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
 		}
 		return
+	}
+	if *compilerDiag && *concSurface {
+		log.Fatal("-compilerdiag and -concsurface are mutually exclusive")
 	}
 
 	cwd, err := os.Getwd()
@@ -66,18 +94,26 @@ func main() {
 	}
 
 	if *compilerDiag {
-		runCompilerDiag(root, flag.Args(), *baselinePath, *updateBaseline)
+		runCompilerDiag(root, flag.Args(), baselineFile(root, *baselinePath, defaultCompilerBaseline), *updateBaseline)
+		return
+	}
+	if *concSurface {
+		runConcSurface(root, flag.Args(), baselineFile(root, *baselinePath, defaultSurfaceBaseline), *updateBaseline)
 		return
 	}
 	if *updateBaseline {
-		log.Fatal("-update-baseline requires -compilerdiag")
+		log.Fatal("-update-baseline requires -compilerdiag or -concsurface")
 	}
 
-	analyzers := analysis.All()
+	analyzers := allAnalyzers()
 	if *only != "" {
+		byName := map[string]analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name()] = a
+		}
 		analyzers = analyzers[:0]
 		for _, name := range strings.Split(*only, ",") {
-			a, ok := analysis.ByName(strings.TrimSpace(name))
+			a, ok := byName[strings.TrimSpace(name)]
 			if !ok {
 				log.Fatalf("unknown analyzer %q (use -list)", name)
 			}
@@ -111,7 +147,9 @@ func main() {
 	}
 }
 
-// jsonFinding is the -json output schema: one object per line (ndjson).
+// jsonFinding is the -json output schema: one object per line (ndjson),
+// ordered by (file, line, col, analyzer). Documented in docs/ANALYSIS.md;
+// keep the two in sync.
 type jsonFinding struct {
 	File     string `json:"file"`
 	Line     int    `json:"line"`
@@ -120,8 +158,22 @@ type jsonFinding struct {
 	Message  string `json:"message"`
 }
 
+// baselineFile resolves the baseline path for a mode: the -baseline
+// flag when given (made absolute against the module root), else the
+// mode's default.
+func baselineFile(root, flagValue, def string) string {
+	rel := flagValue
+	if rel == "" {
+		rel = def
+	}
+	if filepath.IsAbs(rel) {
+		return rel
+	}
+	return filepath.Join(root, filepath.FromSlash(rel))
+}
+
 // runCompilerDiag implements the -compilerdiag mode.
-func runCompilerDiag(root string, patterns []string, baselineRel string, update bool) {
+func runCompilerDiag(root string, patterns []string, baselineFile string, update bool) {
 	findings, err := analysis.RunCompilerDiag(root, patterns)
 	if err != nil {
 		log.Fatal(err)
@@ -129,10 +181,6 @@ func runCompilerDiag(root string, patterns []string, baselineRel string, update 
 	goVersion, err := analysis.GoVersion(root)
 	if err != nil {
 		log.Fatal(err)
-	}
-	baselineFile := baselineRel
-	if !filepath.IsAbs(baselineFile) {
-		baselineFile = filepath.Join(root, filepath.FromSlash(baselineRel))
 	}
 
 	if update {
@@ -144,7 +192,7 @@ func runCompilerDiag(root string, patterns []string, baselineRel string, update 
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s: %d entr(ies) from %d finding(s) under %s",
-			baselineRel, len(base.Entries), len(findings), goVersion)
+			baselineFile, len(base.Entries), len(findings), goVersion)
 		return
 	}
 
@@ -165,6 +213,44 @@ func runCompilerDiag(root string, patterns []string, baselineRel string, update 
 	}
 	if len(regressions) > 0 {
 		log.Printf("%d compiler-diagnostic regression(s); fix the code or record the intent with -update-baseline", len(regressions))
+		os.Exit(1)
+	}
+}
+
+// runConcSurface implements the -concsurface mode. Package arguments
+// are module-relative directories ("internal/omp"); the default scope
+// is conc.SurfacePackages.
+func runConcSurface(root string, pkgs []string, baselineFile string, update bool) {
+	sites, err := conc.CollectSurface(root, pkgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if update {
+		base := conc.BuildSurfaceBaseline(pkgs, sites)
+		if err := os.MkdirAll(filepath.Dir(baselineFile), 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if err := conc.SaveSurfaceBaseline(baselineFile, base); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s: %d entr(ies) from %d site(s)", baselineFile, len(base.Entries), len(sites))
+		return
+	}
+
+	base, err := conc.LoadSurfaceBaseline(baselineFile)
+	if err != nil {
+		log.Fatalf("loading baseline: %v (run with -update-baseline to create it)", err)
+	}
+	growth, shrinkage := conc.DiffSurface(base, sites)
+	for _, s := range shrinkage {
+		log.Printf("note: %s", s)
+	}
+	for _, s := range growth {
+		fmt.Println(s)
+	}
+	if len(growth) > 0 {
+		log.Printf("%d concurrency-surface growth(s); every new go/lock/chan site must be acknowledged with -update-baseline", len(growth))
 		os.Exit(1)
 	}
 }

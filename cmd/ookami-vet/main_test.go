@@ -190,9 +190,166 @@ func TestCLIListMentionsEveryAnalyzer(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list exited %d", code)
 	}
-	for _, name := range []string{"determinism", "hotalloc", "hotappend", "hotdefer", "hotiface", "hotreduce"} {
+	for _, name := range []string{
+		"determinism", "hotalloc", "hotappend", "hotdefer", "hotiface", "hotreduce",
+		"lockorder", "goleak", "atomicmix", "wgmisuse", "locksync",
+	} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list missing %s:\n%s", name, stdout)
 		}
+	}
+}
+
+// writeConcModule materializes a temp module with a lock-order inversion
+// and a leaked goroutine in separate packages.
+func writeConcModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tempmod\n\ngo 1.22\n",
+		"internal/link/link.go": `package link
+
+import "sync"
+
+type Link struct {
+	a, b sync.Mutex
+}
+
+func (l *Link) Fwd() {
+	l.a.Lock()
+	defer l.a.Unlock()
+	l.b.Lock()
+	defer l.b.Unlock()
+}
+
+func (l *Link) Rev() {
+	l.b.Lock()
+	defer l.b.Unlock()
+	l.a.Lock()
+	defer l.a.Unlock()
+}
+`,
+		"internal/spawn/spawn.go": `package spawn
+
+var sink int
+
+func Fire() {
+	go func() {
+		sink++
+	}()
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestCLIOnlySelectsConcAnalyzer(t *testing.T) {
+	root := writeConcModule(t)
+	stdout, _, code := runVet(t, root, "-only", "lockorder", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "lockorder") || !strings.Contains(stdout, "link.go") {
+		t.Errorf("lockorder finding missing:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "goleak") {
+		t.Errorf("-only lockorder must not run goleak:\n%s", stdout)
+	}
+}
+
+func TestCLIJSONOrderedByFileLineAnalyzer(t *testing.T) {
+	root := writeConcModule(t)
+	stdout, _, code := runVet(t, root, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, stdout)
+	}
+	var prev *jsonFinding
+	for _, line := range strings.Split(strings.TrimSpace(stdout), "\n") {
+		var f jsonFinding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("invalid ndjson line: %v\n%s", err, line)
+		}
+		if prev != nil {
+			if f.File < prev.File ||
+				(f.File == prev.File && f.Line < prev.Line) ||
+				(f.File == prev.File && f.Line == prev.Line && f.Col == prev.Col && f.Analyzer < prev.Analyzer) {
+				t.Errorf("findings out of (file, line, col, analyzer) order: %+v after %+v", f, *prev)
+			}
+		}
+		prev = &f
+	}
+	if prev == nil {
+		t.Fatal("no findings emitted")
+	}
+}
+
+func TestCLIConcSurfaceRoundtrip(t *testing.T) {
+	root := writeConcModule(t)
+	pkgs := []string{"internal/link", "internal/spawn"}
+
+	// Missing baseline is a hard error pointing at -update-baseline.
+	_, stderr, code := runVet(t, root, append([]string{"-concsurface"}, pkgs...)...)
+	if code == 0 || !strings.Contains(stderr, "-update-baseline") {
+		t.Fatalf("missing baseline: code=%d stderr=%q", code, stderr)
+	}
+
+	_, stderr, code = runVet(t, root, append([]string{"-concsurface", "-update-baseline"}, pkgs...)...)
+	if code != 0 {
+		t.Fatalf("-update-baseline failed: %s", stderr)
+	}
+	if _, err := os.Stat(filepath.Join(root, "internal", "analysis", "baseline", "concsurface.json")); err != nil {
+		t.Fatalf("baseline not written at default path: %v", err)
+	}
+
+	stdout, stderr, code := runVet(t, root, append([]string{"-concsurface"}, pkgs...)...)
+	if code != 0 {
+		t.Fatalf("clean diff failed: code=%d stdout=%q stderr=%q", code, stdout, stderr)
+	}
+
+	// Grow the surface: a second spawn site must trip the gate.
+	spawn := filepath.Join(root, "internal", "spawn", "spawn.go")
+	src := `package spawn
+
+var sink int
+
+func Fire() {
+	go func() {
+		sink++
+	}()
+}
+
+func FireTwice() {
+	go func() {
+		sink += 2
+	}()
+}
+`
+	if err := os.WriteFile(spawn, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code = runVet(t, root, append([]string{"-concsurface"}, pkgs...)...)
+	if code != 1 {
+		t.Fatalf("surface growth not detected: code=%d stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "FireTwice") || !strings.Contains(stdout, "new concurrency site") {
+		t.Errorf("growth report incomplete:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "-update-baseline") {
+		t.Errorf("growth summary must point at -update-baseline:\n%s", stderr)
+	}
+
+	// -compilerdiag and -concsurface cannot be combined.
+	_, stderr, code = runVet(t, root, "-concsurface", "-compilerdiag")
+	if code == 0 || !strings.Contains(stderr, "mutually exclusive") {
+		t.Errorf("mode combination accepted: code=%d stderr=%q", code, stderr)
 	}
 }

@@ -179,8 +179,8 @@ func auditLoopBody(p *Package, fd *ast.FuncDecl, loop *ast.ForStmt) []Diagnostic
 			if !ok {
 				return true
 			}
-			fn := calleeFunc(p, call)
-			if fn == nil || recvNamed(fn) != nil {
+			fn := CalleeFunc(p, call)
+			if fn == nil || RecvNamed(fn) != nil {
 				return true // methods can mutate their receiver
 			}
 			sig, ok := fn.Type().(*types.Signature)

@@ -142,6 +142,69 @@ b6 select.default: {x = 3} -> b3
 `,
 		},
 		{
+			// go and defer are shallow nodes in their block, in execution
+			// order; the spawned/deferred bodies are NOT broken into blocks
+			// here. The concurrency analyzers build on exactly this: they
+			// see the statement at its launch site and walk the function
+			// literal themselves.
+			name: "go-and-defer-are-shallow-nodes",
+			src: `package p
+func f(n int) int {
+	ch := make(chan int, 1)
+	defer close(ch)
+	go func() { ch <- n }()
+	return <-ch
+}`,
+			want: `b0 entry: -> b2
+b1 exit: -> none
+b2 body: {ch := make(chan int, 1)} {defer close(ch)} {go func() { ch <- n }()} {return <-ch} -> b1
+`,
+		},
+		{
+			// Without a default clause a select blocks: there must be no
+			// edge from the predecessor straight to select.after. goleak's
+			// timer rule depends on the clause count and this shape.
+			name: "select-without-default-blocks",
+			src: `package p
+func f(c, d chan int) int {
+	x := 0
+	select {
+	case v := <-c:
+		x = v
+	case d <- 1:
+		x = 2
+	}
+	return x
+}`,
+			want: `b0 entry: -> b2
+b1 exit: -> none
+b2 body: {x := 0} -> b4 b5
+b3 select.after: {return x} -> b1
+b4 select.case: {v := <-c} {x = v} -> b3
+b5 select.case: {d <- 1} {x = 2} -> b3
+`,
+		},
+		{
+			// A defer in one branch still registers on every later path at
+			// run time, but in the graph it stays a shallow node of its
+			// branch block — locksync's "deferred release anywhere covers
+			// the unit" rule builds on finding it there.
+			name: "defer-in-branch",
+			src: `package p
+func f(cond bool, release, work func()) {
+	if cond {
+		defer release()
+	}
+	work()
+}`,
+			want: `b0 entry: -> b2
+b1 exit: -> none
+b2 body: {cond} -> b4 b3
+b3 if.after: {work()} -> b1
+b4 if.then: {defer release()} -> b3
+`,
+		},
+		{
 			name: "labeled-break-and-continue",
 			src: `package p
 func f(n int) int {

@@ -1,0 +1,109 @@
+package conc
+
+import (
+	"testing"
+
+	"ookami/internal/analysis"
+)
+
+func atomicmixOnly() []analysis.Analyzer { return []analysis.Analyzer{AtomicMix{}} }
+
+// Pre-fix shape of internal/omp/placement.go: the constructor wrote
+// the page table with plain stores while Touch CAS'd the same elements
+// from other goroutines.
+func TestAtomicMixElementStoreVersusCAS(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", atomicmixOnly(), map[string]string{
+		"a.go": `package fix
+
+import "sync/atomic"
+
+type PT struct{ pages []int32 }
+
+func NewPT(n int) *PT {
+	pt := &PT{pages: make([]int32, n)}
+	for i := range pt.pages {
+		pt.pages[i] = -1 // want atomicmix
+	}
+	return pt
+}
+
+func (pt *PT) Touch(p int, numa int32) {
+	atomic.CompareAndSwapInt32(&pt.pages[p], -1, numa)
+}
+`,
+	})
+}
+
+func TestAtomicMixFixedConstructorIsClean(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", atomicmixOnly(), map[string]string{
+		"a.go": `package fix
+
+import "sync/atomic"
+
+type PT struct{ pages []int32 }
+
+func NewPT(n int) *PT {
+	pt := &PT{pages: make([]int32, n)}
+	for i := range pt.pages {
+		atomic.StoreInt32(&pt.pages[i], -1)
+	}
+	return pt
+}
+
+func (pt *PT) Touch(p int, numa int32) {
+	atomic.CompareAndSwapInt32(&pt.pages[p], -1, numa)
+}
+
+func (pt *PT) Len() int {
+	// Header operations (len, range, reslicing) do not touch the
+	// atomically-accessed elements.
+	return len(pt.pages)
+}
+
+func (pt *PT) Sum() int64 {
+	var sum int64
+	for i := range pt.pages {
+		sum += int64(atomic.LoadInt32(&pt.pages[i]))
+	}
+	return sum
+}
+`,
+	})
+}
+
+func TestAtomicMixScalarCounter(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", atomicmixOnly(), map[string]string{
+		"a.go": `package fix
+
+import "sync/atomic"
+
+var hits int64
+
+func record() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func report() int64 {
+	return hits // want atomicmix
+}
+`,
+	})
+}
+
+func TestAtomicMixSameFunctionIsClean(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", atomicmixOnly(), map[string]string{
+		"a.go": `package fix
+
+import "sync/atomic"
+
+// Pre-publication initialization next to the atomic use in the same
+// function cannot race with it.
+func build() int64 {
+	var n int64
+	n = 5
+	atomic.AddInt64(&n, 1)
+	return atomic.LoadInt64(&n)
+}
+`,
+	})
+}

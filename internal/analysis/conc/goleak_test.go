@@ -1,0 +1,150 @@
+package conc
+
+import (
+	"testing"
+
+	"ookami/internal/analysis"
+)
+
+func goleakOnly() []analysis.Analyzer { return []analysis.Analyzer{GoLeak{}} }
+
+func TestGoLeakNoJoinSignal(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", goleakOnly(), map[string]string{
+		"a.go": `package fix
+
+var sink int
+
+func work() { sink++ }
+
+func spawnAndForget() {
+	go func() { // want goleak
+		work()
+	}()
+}
+`,
+	})
+}
+
+func TestGoLeakDoneWithoutAnyWait(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", goleakOnly(), map[string]string{
+		"a.go": `package fix
+
+import "sync"
+
+func spawn(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want goleak
+		defer wg.Done()
+	}()
+}
+`,
+	})
+}
+
+func TestGoLeakSendWithoutAnyReceive(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", goleakOnly(), map[string]string{
+		"a.go": `package fix
+
+func spawn() chan int {
+	ch := make(chan int, 1)
+	go func() { // want goleak
+		ch <- 1
+	}()
+	return ch
+}
+`,
+	})
+}
+
+func TestGoLeakJoinedPatternsAreClean(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", goleakOnly(), map[string]string{
+		"a.go": `package fix
+
+import "sync"
+
+func waitgroup(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func channel() int {
+	ch := make(chan int, 1)
+	go func() { ch <- 42 }()
+	return <-ch
+}
+
+func closed() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+`,
+	})
+}
+
+// The bench-runner shape: the go statement names a package-local
+// function whose channel send lives in the callee, not in a closure.
+// The call-graph summaries must carry the join signal across; treating
+// named callees as opaque would flag every worker spawn in the repo.
+func TestGoLeakNamedCalleeSignalResolvesThroughSummary(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", goleakOnly(), map[string]string{
+		"a.go": `package fix
+
+func produce(ch chan<- int) {
+	defer func() { ch <- 1 }()
+}
+
+func runOne() int {
+	ch := make(chan int, 1)
+	go produce(ch)
+	return <-ch
+}
+`,
+	})
+}
+
+// Pre-fix shape of internal/bench/runner.go's retry backoff: a
+// multi-case select receiving from time.After leaks the timer until
+// expiry whenever the context wins.
+func TestGoLeakTimeAfterInMultiCaseSelect(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", goleakOnly(), map[string]string{
+		"a.go": `package fix
+
+import (
+	"context"
+	"time"
+)
+
+func backoffLeaky(ctx context.Context, d time.Duration) {
+	select {
+	case <-time.After(d): // want goleak
+	case <-ctx.Done():
+		return
+	}
+}
+
+func backoffFixed(ctx context.Context, d time.Duration) {
+	timer := time.NewTimer(d)
+	select {
+	case <-timer.C:
+	case <-ctx.Done():
+		timer.Stop()
+		return
+	}
+}
+
+func plainSleep(d time.Duration) {
+	// A single-case select is just a sleep; the timer always fires.
+	select {
+	case <-time.After(d):
+	}
+}
+`,
+	})
+}

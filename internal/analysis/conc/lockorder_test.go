@@ -1,0 +1,173 @@
+package conc
+
+import (
+	"testing"
+
+	"ookami/internal/analysis"
+)
+
+func lockorderOnly() []analysis.Analyzer { return []analysis.Analyzer{LockOrder{}} }
+
+func TestLockOrderInversionAcrossFunctions(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", lockorderOnly(), map[string]string{
+		"a.go": `package fix
+
+import "sync"
+
+type S struct{ mu1, mu2 sync.Mutex }
+
+func (s *S) ab() {
+	s.mu1.Lock()
+	s.mu2.Lock() // want lockorder
+	s.mu2.Unlock()
+	s.mu1.Unlock()
+}
+
+func (s *S) ba() {
+	s.mu2.Lock()
+	s.mu1.Lock() // want lockorder
+	s.mu1.Unlock()
+	s.mu2.Unlock()
+}
+`,
+	})
+}
+
+func TestLockOrderConsistentOrderIsClean(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", lockorderOnly(), map[string]string{
+		"a.go": `package fix
+
+import "sync"
+
+type S struct{ mu1, mu2 sync.Mutex }
+
+func (s *S) one() {
+	s.mu1.Lock()
+	s.mu2.Lock()
+	s.mu2.Unlock()
+	s.mu1.Unlock()
+}
+
+func (s *S) two() {
+	s.mu1.Lock()
+	defer s.mu1.Unlock()
+	s.mu2.Lock()
+	defer s.mu2.Unlock()
+}
+`,
+	})
+}
+
+// The interprocedural case: cd holds mu1 and calls a helper whose
+// transitive acquire set contains mu2, while dc takes the locks in the
+// opposite order directly. The summary layer's call-graph closure is
+// what connects the two.
+func TestLockOrderInterproceduralCycle(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", lockorderOnly(), map[string]string{
+		"a.go": `package fix
+
+import "sync"
+
+type S struct{ mu1, mu2 sync.Mutex }
+
+func (s *S) helper() {
+	s.mu2.Lock()
+	s.mu2.Unlock()
+}
+
+func (s *S) cd(xs []int) {
+	s.mu1.Lock()
+	defer s.mu1.Unlock()
+	s.helper() // want lockorder
+}
+
+func (s *S) dc() {
+	s.mu2.Lock()
+	s.mu1.Lock() // want lockorder
+	s.mu1.Unlock()
+	s.mu2.Unlock()
+}
+`,
+	})
+}
+
+func TestLockOrderSelfDeadlockThroughCallee(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", lockorderOnly(), map[string]string{
+		"a.go": `package fix
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return 0
+}
+
+func (s *S) outer() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size() // want lockorder
+}
+`,
+	})
+}
+
+// Unlock on every branch must clear the held set before the next
+// acquisition: sequential (not nested) locking in both orders is fine.
+func TestLockOrderSequentialLockingIsClean(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", lockorderOnly(), map[string]string{
+		"a.go": `package fix
+
+import "sync"
+
+type S struct{ mu1, mu2 sync.Mutex }
+
+func (s *S) oneThenTwo() {
+	s.mu1.Lock()
+	s.mu1.Unlock()
+	s.mu2.Lock()
+	s.mu2.Unlock()
+}
+
+func (s *S) twoThenOne() {
+	s.mu2.Lock()
+	s.mu2.Unlock()
+	s.mu1.Lock()
+	s.mu1.Unlock()
+}
+`,
+	})
+}
+
+// A spawned goroutine's locks are not held by the spawner: the go
+// closure's acquisitions must not combine with locks held around the
+// go statement.
+func TestLockOrderSpawnedClosureDoesNotNest(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", lockorderOnly(), map[string]string{
+		"a.go": `package fix
+
+import "sync"
+
+type S struct{ mu1, mu2 sync.Mutex }
+
+func (s *S) spawn(done chan struct{}) {
+	s.mu1.Lock()
+	go func() {
+		s.mu2.Lock()
+		s.mu2.Unlock()
+		close(done)
+	}()
+	s.mu1.Unlock()
+}
+
+func (s *S) reverse() {
+	s.mu2.Lock()
+	s.mu1.Lock()
+	s.mu1.Unlock()
+	s.mu2.Unlock()
+}
+`,
+	})
+}

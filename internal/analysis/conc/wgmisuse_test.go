@@ -1,0 +1,118 @@
+package conc
+
+import (
+	"testing"
+
+	"ookami/internal/analysis"
+)
+
+func wgmisuseOnly() []analysis.Analyzer { return []analysis.Analyzer{WGMisuse{}} }
+
+func TestWGMisuseAddInsideSpawnedGoroutine(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", wgmisuseOnly(), map[string]string{
+		"a.go": `package fix
+
+import "sync"
+
+func spawn(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want wgmisuse
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+`,
+	})
+}
+
+func TestWGMisuseAddAfterWait(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", wgmisuseOnly(), map[string]string{
+		"a.go": `package fix
+
+import "sync"
+
+func run(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { wg.Done() }()
+	wg.Wait()
+	wg.Add(1) // want wgmisuse
+}
+`,
+	})
+}
+
+func TestWGMisuseLoopReuseIsClean(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", wgmisuseOnly(), map[string]string{
+		"a.go": `package fix
+
+import "sync"
+
+func phases(n int) {
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+		wg.Wait()
+	}
+}
+`,
+	})
+}
+
+func TestWGMisuseDoneWithoutAddOnAPath(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", wgmisuseOnly(), map[string]string{
+		"a.go": `package fix
+
+import "sync"
+
+func unbalanced(cond bool) {
+	var wg sync.WaitGroup
+	if cond {
+		wg.Add(1)
+	}
+	wg.Done() // want wgmisuse
+}
+`,
+	})
+}
+
+func TestWGMisuseWorkerPatternsAreClean(t *testing.T) {
+	runFixture(t, "ookami/internal/fix", wgmisuseOnly(), map[string]string{
+		"a.go": `package fix
+
+import "sync"
+
+// Done on a parameter is the worker half of the protocol; the Add
+// guarding it lives in the spawner.
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+// The omp.Team shape: Add before spawn, Done inside the goroutine.
+func run(workers int) {
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Add balanced on every path before the Done.
+func balanced(cond bool) {
+	var wg sync.WaitGroup
+	if cond {
+		wg.Add(1)
+	} else {
+		wg.Add(1)
+	}
+	wg.Done()
+}
+`,
+	})
+}

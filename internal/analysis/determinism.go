@@ -48,15 +48,15 @@ func (Determinism) Run(p *Package) []Diagnostic {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
-				fn := calleeFunc(p, n)
+				fn := CalleeFunc(p, n)
 				if fn == nil {
 					return true
 				}
-				switch pkg := funcPkgPath(fn); {
+				switch pkg := FuncPkgPath(fn); {
 				case pkg == "time" && fn.Name() == "Now":
 					diags = append(diags, p.diag(Determinism{}.Name(), n,
 						"time.Now in golden-producing package %s makes output depend on the wall clock", p.Path))
-				case (pkg == "math/rand" || pkg == "math/rand/v2") && recvNamed(fn) == nil &&
+				case (pkg == "math/rand" || pkg == "math/rand/v2") && RecvNamed(fn) == nil &&
 					fn.Name() != "New" && fn.Name() != "NewSource" && fn.Name() != "NewPCG" && fn.Name() != "NewChaCha8":
 					diags = append(diags, p.diag(Determinism{}.Name(), n,
 						"global math/rand.%s draws from shared, effectively unseeded state; use rand.New(rand.NewSource(seed))", fn.Name()))

@@ -72,14 +72,14 @@ func (ErrcheckLite) Run(p *Package) []Diagnostic {
 
 // errExempt reports whether dropping the call's error is conventional.
 func errExempt(p *Package, call *ast.CallExpr) bool {
-	fn := calleeFunc(p, call)
+	fn := CalleeFunc(p, call)
 	if fn == nil {
 		return false
 	}
-	if funcPkgPath(fn) == "fmt" && strings.HasPrefix(fn.Name(), "Print") {
+	if FuncPkgPath(fn) == "fmt" && strings.HasPrefix(fn.Name(), "Print") {
 		return true
 	}
-	if named := recvNamed(fn); named != nil && named.Obj().Pkg() != nil {
+	if named := RecvNamed(fn); named != nil && named.Obj().Pkg() != nil {
 		owner := named.Obj().Pkg().Path() + "." + named.Obj().Name()
 		if owner == "strings.Builder" || owner == "bytes.Buffer" {
 			return true
@@ -89,7 +89,7 @@ func errExempt(p *Package, call *ast.CallExpr) bool {
 }
 
 func calleeName(p *Package, call *ast.CallExpr) string {
-	if fn := calleeFunc(p, call); fn != nil {
+	if fn := CalleeFunc(p, call); fn != nil {
 		return fn.Name()
 	}
 	return "call"

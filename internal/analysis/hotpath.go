@@ -342,7 +342,7 @@ func (HotIface) Run(p *Package) []Diagnostic {
 					return
 				}
 			}
-			callee := calleeFunc(p, n)
+			callee := CalleeFunc(p, n)
 			if callee != nil {
 				if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
 					diags = append(diags, p.diag(HotIface{}.Name(), n,
@@ -494,11 +494,11 @@ func (HotReduce) Run(p *Package) []Diagnostic {
 // the simulated OpenMP runtime (a type declared in .../internal/omp) —
 // its callbacks run on team goroutines concurrently.
 func isParallelRuntimeCall(p *Package, call *ast.CallExpr) bool {
-	f := calleeFunc(p, call)
+	f := CalleeFunc(p, call)
 	if f == nil {
 		return false
 	}
-	named := recvNamed(f)
+	named := RecvNamed(f)
 	if named == nil || named.Obj().Pkg() == nil {
 		return false
 	}

@@ -42,7 +42,7 @@ func (SyncHygiene) Run(p *Package) []Diagnostic {
 				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
 					ast.Inspect(lit.Body, func(inner ast.Node) bool {
 						call, ok := inner.(*ast.CallExpr)
-						if ok && isMethodOn(calleeFunc(p, call), "sync", "WaitGroup", "Add") {
+						if ok && IsMethodOn(CalleeFunc(p, call), "sync", "WaitGroup", "Add") {
 							diags = append(diags, p.diag(SyncHygiene{}.Name(), call,
 								"wg.Add inside the spawned goroutine races wg.Wait; Add before the go statement"))
 						}
@@ -51,7 +51,7 @@ func (SyncHygiene) Run(p *Package) []Diagnostic {
 				}
 			case *ast.ExprStmt:
 				if call, ok := n.X.(*ast.CallExpr); ok {
-					if isMethodOn(calleeFunc(p, call), "sync", "WaitGroup", "Done") {
+					if IsMethodOn(CalleeFunc(p, call), "sync", "WaitGroup", "Done") {
 						diags = append(diags, p.diag(SyncHygiene{}.Name(), call,
 							"wg.Done should be deferred so a panic cannot deadlock wg.Wait"))
 					}

@@ -5,9 +5,9 @@ import (
 	"go/types"
 )
 
-// calleeFunc resolves the function or method a call invokes, or nil for
+// CalleeFunc resolves the function or method a call invokes, or nil for
 // builtins, conversions and calls through function-typed values.
-func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+func CalleeFunc(p *Package, call *ast.CallExpr) *types.Func {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
 		f, _ := p.Info.Uses[fun].(*types.Func)
@@ -19,18 +19,18 @@ func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
 	return nil
 }
 
-// funcPkgPath returns the import path of the package declaring f
+// FuncPkgPath returns the import path of the package declaring f
 // (empty for builtins like error.Error).
-func funcPkgPath(f *types.Func) string {
+func FuncPkgPath(f *types.Func) string {
 	if f == nil || f.Pkg() == nil {
 		return ""
 	}
 	return f.Pkg().Path()
 }
 
-// recvNamed returns the named receiver type of a method (through one
+// RecvNamed returns the named receiver type of a method (through one
 // pointer), or nil for plain functions.
-func recvNamed(f *types.Func) *types.Named {
+func RecvNamed(f *types.Func) *types.Named {
 	sig, ok := f.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
 		return nil
@@ -43,13 +43,13 @@ func recvNamed(f *types.Func) *types.Named {
 	return named
 }
 
-// isMethodOn reports whether f is a method named name on pkgPath.typeName
+// IsMethodOn reports whether f is a method named name on pkgPath.typeName
 // (value or pointer receiver).
-func isMethodOn(f *types.Func, pkgPath, typeName, name string) bool {
+func IsMethodOn(f *types.Func, pkgPath, typeName, name string) bool {
 	if f == nil || f.Name() != name {
 		return false
 	}
-	named := recvNamed(f)
+	named := RecvNamed(f)
 	if named == nil {
 		return false
 	}

@@ -225,9 +225,14 @@ func sample(ctx context.Context, w Workload, opt Options, ch chan<- outcome) {
 			Msg: fmt.Sprintf("CoV %.1f%% above gate %.1f%% after %d attempt(s)", 100*cov, 100*opt.MaxCoV, attempt+1)}
 		if attempt < opt.Retries {
 			backT0 := phaseStart()
+			// time.After would keep its timer live until expiry when the
+			// context wins the select; with doubling backoffs that pins
+			// timers (and their wakeups) long past cancellation.
+			timer := time.NewTimer(backoff)
 			select {
-			case <-time.After(backoff):
+			case <-timer.C:
 			case <-ctx.Done():
+				timer.Stop()
 				return
 			}
 			emitPhase(w.Name, trace.NameBackoff, backT0,

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"ookami/internal/testutil"
 	"ookami/internal/trace"
 )
 
@@ -127,6 +128,7 @@ func TestFillStatsGuardsNonFinite(t *testing.T) {
 // a traced run produces warmup and sample-attempt spans tagged with
 // the workload name.
 func TestRunnerEmitsPhaseSpans(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
 	trace.Disable()
 	trace.Enable()
 	defer trace.Disable()

@@ -29,7 +29,10 @@ func NewPageTracker(n, elemSize int) *PageTracker {
 	pages := (n*elemSize + PageSize - 1) / PageSize
 	pt := &PageTracker{bytesPerElem: elemSize, pages: make([]int32, pages)}
 	for i := range pt.pages {
-		pt.pages[i] = -1
+		// The table is CAS'd by concurrent touchers as soon as the
+		// tracker escapes; initialize through the same atomics so every
+		// access to pages is atomic.
+		atomic.StoreInt32(&pt.pages[i], -1)
 	}
 	return pt
 }

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"ookami/internal/testutil"
 )
 
 // withTracer runs fn with tracing enabled and guarantees the global
@@ -114,6 +116,7 @@ func TestRingOverflowCountsDrops(t *testing.T) {
 }
 
 func TestConcurrentEmission(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
 	const goroutines, perG = 32, 200
 	tr := withTracer(t, func() {
 		var wg sync.WaitGroup
@@ -171,6 +174,7 @@ func TestEnvRequest(t *testing.T) {
 }
 
 func TestFinishWritesFileAndSummary(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
 	Disable()
 	Enable()
 	defer Disable()
