@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet compilerdiag baseline concsurface concbaseline check fuzz-cfg bench benchgate benchrecord gobench figures trace-smoke
+.PHONY: build test race vet compilerdiag baseline concsurface concbaseline parsafe parsafebaseline check fuzz-cfg fuzz-purity bench benchgate benchrecord gobench figures trace-smoke
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,18 @@ concsurface:
 concbaseline:
 	$(GO) run ./cmd/ookami-vet -concsurface -update-baseline
 
+# Diff the certified //ookami:pure entry points' transitive effect sets
+# against the checked-in baseline; a certified function gaining an
+# impure or hidden-input effect (or losing its marker) fails.
+parsafe:
+	$(GO) run ./cmd/ookami-vet -parsafe
+
+# Re-record the parallel-safety baseline after certifying new entry
+# points or an acknowledged effect change. The JSON diff is part of the
+# PR under review.
+parsafebaseline:
+	$(GO) run ./cmd/ookami-vet -parsafe -update-baseline
+
 # The full gate: what a PR must keep green.
 check:
 	$(GO) vet ./...
@@ -46,11 +58,18 @@ check:
 	$(GO) run ./cmd/ookami-vet ./...
 	$(GO) run ./cmd/ookami-vet -compilerdiag
 	$(GO) run ./cmd/ookami-vet -concsurface
+	$(GO) run ./cmd/ookami-vet -parsafe
 
 # Short fuzz pass over the CFG builder: any parseable function body
 # must yield a total, well-formed graph.
 fuzz-cfg:
 	$(GO) test ./internal/analysis/cfg -fuzz=FuzzCFG -fuzztime=30s
+
+# Short fuzz pass over the purity effect-summary fixpoint: hostile call
+# graphs (mutual recursion, method values, closures) must terminate
+# without panicking.
+fuzz-purity:
+	$(GO) test ./internal/analysis/purity -fuzz=FuzzSummarize -fuzztime=30s
 
 # Run the registered workloads through the orchestrator and store
 # BENCH_ookami.json (warmup + repeats, CoV interference gate, bootstrap

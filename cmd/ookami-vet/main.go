@@ -13,6 +13,7 @@
 //	ookami-vet [-list] [-json] [-only determinism,lockorder] [packages]
 //	ookami-vet -compilerdiag [-update-baseline] [-baseline file] [packages]
 //	ookami-vet -concsurface [-update-baseline] [-baseline file] [packages]
+//	ookami-vet -parsafe [-update-baseline] [-baseline file] [packages]
 //
 // Packages default to ./... resolved against the enclosing module. A
 // finding is suppressed by an `//ookami:nolint <analyzer> -- reason`
@@ -35,6 +36,14 @@
 // the checked-in baseline — growing the concurrency surface without
 // -update-baseline is a CI failure, so new spawn/lock/channel sites are
 // always an explicit decision.
+//
+// With -parsafe, the command links the effect summaries of the
+// certified surface (the model core plus the kernel packages, see
+// purity.ParsafePackages) into one cross-package call graph and diffs
+// every //ookami:pure entry point's transitive effect set against the
+// checked-in baseline. A certified function gaining an impure or
+// hidden-input effect — or losing its certification — exits nonzero
+// with the full entrypoint → callee → site chain.
 package main
 
 import (
@@ -48,18 +57,41 @@ import (
 
 	"ookami/internal/analysis"
 	"ookami/internal/analysis/conc"
+	"ookami/internal/analysis/purity"
 )
 
 // Default baseline files, relative to the module root, per mode.
 const (
 	defaultCompilerBaseline = "internal/analysis/baseline/compilerdiag.json"
 	defaultSurfaceBaseline  = "internal/analysis/baseline/concsurface.json"
+	defaultParsafeBaseline  = "internal/analysis/baseline/parsafe.json"
 )
 
 // allAnalyzers is the full suite: the core analyzers plus the
-// concurrency pass.
+// concurrency and purity passes.
 func allAnalyzers() []analysis.Analyzer {
-	return append(analysis.All(), conc.Analyzers()...)
+	all := append(analysis.All(), conc.Analyzers()...)
+	return append(all, purity.Analyzers()...)
+}
+
+// analyzerGates maps an analyzer to the gates that run it. Every
+// analyzer runs under `make check`; the purity analyzers' facts are
+// additionally enforced cross-package by the -parsafe firewall.
+func analyzerGates(name string) string {
+	for _, a := range purity.Analyzers() {
+		if a.Name() == name {
+			return "check,parsafe"
+		}
+	}
+	return "check"
+}
+
+// firewallRows are the baseline-diff modes listed alongside the
+// analyzers: each is its own gate rather than part of the analyzer run.
+var firewallRows = [][3]string{
+	{"compilerdiag", "compilerdiag", "diffs compiler escape/BCE diagnostics in hot functions against " + defaultCompilerBaseline},
+	{"concsurface", "concsurface", "diffs the runtime packages' go/lock/chan sites against " + defaultSurfaceBaseline},
+	{"parsafe", "parsafe", "diffs certified //ookami:pure entry points' effect sets against " + defaultParsafeBaseline},
 }
 
 func main() {
@@ -70,18 +102,28 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one finding per line as JSON")
 	compilerDiag := flag.Bool("compilerdiag", false, "diff compiler escape/BCE diagnostics against the baseline instead of running analyzers")
 	concSurface := flag.Bool("concsurface", false, "diff the runtime packages' concurrency surface (go/lock/chan sites) against the baseline")
-	updateBaseline := flag.Bool("update-baseline", false, "with -compilerdiag or -concsurface: rewrite the baseline from the current state")
-	baselinePath := flag.String("baseline", "", "with -compilerdiag or -concsurface: baseline file, relative to the module root (default per mode)")
+	parsafe := flag.Bool("parsafe", false, "diff the certified pure entry points' effect sets against the baseline")
+	updateBaseline := flag.Bool("update-baseline", false, "with exactly one of -compilerdiag/-concsurface/-parsafe: rewrite that baseline from the current state")
+	baselinePath := flag.String("baseline", "", "with -compilerdiag/-concsurface/-parsafe: baseline file, relative to the module root (default per mode)")
 	flag.Parse()
 
 	if *list {
 		for _, a := range allAnalyzers() {
-			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
+			fmt.Printf("%-14s %-14s %s\n", a.Name(), analyzerGates(a.Name()), a.Doc())
+		}
+		for _, row := range firewallRows {
+			fmt.Printf("%-14s %-14s %s\n", row[0], row[1], row[2])
 		}
 		return
 	}
-	if *compilerDiag && *concSurface {
-		log.Fatal("-compilerdiag and -concsurface are mutually exclusive")
+	modes := 0
+	for _, on := range []bool{*compilerDiag, *concSurface, *parsafe} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		log.Fatal("-compilerdiag, -concsurface and -parsafe are mutually exclusive")
 	}
 
 	cwd, err := os.Getwd()
@@ -101,8 +143,12 @@ func main() {
 		runConcSurface(root, flag.Args(), baselineFile(root, *baselinePath, defaultSurfaceBaseline), *updateBaseline)
 		return
 	}
+	if *parsafe {
+		runParsafe(root, flag.Args(), baselineFile(root, *baselinePath, defaultParsafeBaseline), *updateBaseline)
+		return
+	}
 	if *updateBaseline {
-		log.Fatal("-update-baseline requires -compilerdiag or -concsurface")
+		log.Fatal("-update-baseline requires exactly one of -compilerdiag, -concsurface or -parsafe")
 	}
 
 	analyzers := allAnalyzers()
@@ -251,6 +297,44 @@ func runConcSurface(root string, pkgs []string, baselineFile string, update bool
 	}
 	if len(growth) > 0 {
 		log.Printf("%d concurrency-surface growth(s); every new go/lock/chan site must be acknowledged with -update-baseline", len(growth))
+		os.Exit(1)
+	}
+}
+
+// runParsafe implements the -parsafe mode. Package arguments are
+// module-relative directories; the default scope is
+// purity.ParsafePackages.
+func runParsafe(root string, pkgs []string, baselineFile string, update bool) {
+	funcs, err := purity.CollectParsafe(root, pkgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if update {
+		base := purity.BuildParsafeBaseline(pkgs, funcs)
+		if err := os.MkdirAll(filepath.Dir(baselineFile), 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if err := purity.SaveParsafeBaseline(baselineFile, base); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s: %d certified entry point(s)", baselineFile, len(base.Entries))
+		return
+	}
+
+	base, err := purity.LoadParsafeBaseline(baselineFile)
+	if err != nil {
+		log.Fatalf("loading baseline: %v (run with -update-baseline to create it)", err)
+	}
+	regressions, notes := purity.DiffParsafe(base, funcs)
+	for _, s := range notes {
+		log.Printf("note: %s", s)
+	}
+	for _, s := range regressions {
+		fmt.Println(s)
+	}
+	if len(regressions) > 0 {
+		log.Printf("%d parallel-safety regression(s); restore purity or re-certify with -update-baseline", len(regressions))
 		os.Exit(1)
 	}
 }

@@ -353,3 +353,147 @@ func FireTwice() {
 		t.Errorf("mode combination accepted: code=%d stderr=%q", code, stderr)
 	}
 }
+
+func TestCLIListShowsGatesForAllSuites(t *testing.T) {
+	root := writeModule(t)
+	stdout, _, code := runVet(t, root, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	// One row per analyzer with its gate column: conc analyzers run in
+	// the check gate, purity analyzers additionally feed -parsafe, and
+	// the three firewalls are listed as their own gates.
+	wantRows := map[string]string{
+		"lockorder":    "check",
+		"goleak":       "check",
+		"purity":       "check,parsafe",
+		"globalmut":    "check,parsafe",
+		"hiddeninput":  "check,parsafe",
+		"recvmut":      "check,parsafe",
+		"compilerdiag": "compilerdiag",
+		"concsurface":  "concsurface",
+		"parsafe":      "parsafe",
+	}
+	for name, gate := range wantRows {
+		found := false
+		for _, line := range strings.Split(stdout, "\n") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[0] == name && fields[1] == gate {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("-list missing row %q with gate %q:\n%s", name, gate, stdout)
+		}
+	}
+}
+
+// writeParsafeModule materializes a temp module with one certified
+// entry point reaching a helper package.
+func writeParsafeModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tempmod\n\ngo 1.22\n",
+		"internal/simd/simd.go": `package simd
+
+//ookami:pure
+func Store(xs []float64, i int, v float64) {
+	xs[i] = v
+}
+`,
+		"internal/kern/kern.go": `package kern
+
+import "tempmod/internal/simd"
+
+//ookami:pure
+func Triad(y, x []float64, s float64) {
+	for i := range y {
+		simd.Store(y, i, s*x[i])
+	}
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestCLIParsafeRoundtrip(t *testing.T) {
+	root := writeParsafeModule(t)
+	pkgs := []string{"internal/kern", "internal/simd"}
+
+	// Missing baseline is a hard error pointing at -update-baseline.
+	_, stderr, code := runVet(t, root, append([]string{"-parsafe"}, pkgs...)...)
+	if code == 0 || !strings.Contains(stderr, "-update-baseline") {
+		t.Fatalf("missing baseline: code=%d stderr=%q", code, stderr)
+	}
+
+	_, stderr, code = runVet(t, root, append([]string{"-parsafe", "-update-baseline"}, pkgs...)...)
+	if code != 0 {
+		t.Fatalf("-update-baseline failed: %s", stderr)
+	}
+	if _, err := os.Stat(filepath.Join(root, "internal", "analysis", "baseline", "parsafe.json")); err != nil {
+		t.Fatalf("baseline not written at default path: %v", err)
+	}
+
+	stdout, stderr, code := runVet(t, root, append([]string{"-parsafe"}, pkgs...)...)
+	if code != 0 {
+		t.Fatalf("clean diff failed: code=%d stdout=%q stderr=%q", code, stdout, stderr)
+	}
+
+	// Inject a global write under the certified entry point, through the
+	// helper package: the gate must fail and print the effect chain.
+	simd := filepath.Join(root, "internal", "simd", "simd.go")
+	src := `package simd
+
+var stores int
+
+//ookami:pure
+func Store(xs []float64, i int, v float64) {
+	stores++
+	xs[i] = v
+}
+`
+	if err := os.WriteFile(simd, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code = runVet(t, root, append([]string{"-parsafe"}, pkgs...)...)
+	if code != 1 {
+		t.Fatalf("injected global write not detected: code=%d stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	for _, part := range []string{"Triad", "global-write", "Store", "writes global stores"} {
+		if !strings.Contains(stdout, part) {
+			t.Errorf("regression output missing %q:\n%s", part, stdout)
+		}
+	}
+	if !strings.Contains(stderr, "-update-baseline") {
+		t.Errorf("failure summary must point at -update-baseline:\n%s", stderr)
+	}
+}
+
+func TestCLIFirewallModesAreMutuallyExclusive(t *testing.T) {
+	root := writeModule(t)
+	for _, combo := range [][]string{
+		{"-parsafe", "-compilerdiag"},
+		{"-parsafe", "-concsurface"},
+		{"-compilerdiag", "-concsurface", "-parsafe"},
+	} {
+		_, stderr, code := runVet(t, root, combo...)
+		if code == 0 || !strings.Contains(stderr, "mutually exclusive") {
+			t.Errorf("%v accepted: code=%d stderr=%q", combo, code, stderr)
+		}
+	}
+	// -update-baseline alone must name all three modes.
+	_, stderr, code := runVet(t, root, "-update-baseline", "./...")
+	if code == 0 || !strings.Contains(stderr, "exactly one of -compilerdiag, -concsurface or -parsafe") {
+		t.Errorf("bare -update-baseline: code=%d stderr=%q", code, stderr)
+	}
+}

@@ -51,6 +51,26 @@ func funcMarker(doc *ast.CommentGroup) string {
 	return ""
 }
 
+// PureFuncDecl reports whether a declaration carries the //ookami:pure
+// marker — the certification that the function (transitively) performs
+// no parallel-unsafe effect: no package-level writes, no sink calls
+// (os, wall clock, global rng, reflect/cgo), no channel/lock operations
+// and no goroutine spawns. Writes through caller-owned parameters are
+// allowed. The purity analyzers enforce the claim; `ookami-vet
+// -parsafe` records the certified set into a committed baseline.
+func PureFuncDecl(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == "ookami:pure" || strings.HasPrefix(text, "ookami:pure ") {
+			return true
+		}
+	}
+	return false
+}
+
 // HotFuncDecl reports whether a function declaration is on the hot
 // path: explicitly marked //ookami:hot anywhere, or any unmarked
 // function of a kernel package (//ookami:cold opts out).

@@ -1,0 +1,104 @@
+package purity
+
+import (
+	"testing"
+
+	"ookami/internal/analysis"
+)
+
+func TestGlobalMutHotFunctionWritesGlobal(t *testing.T) {
+	runFixture(t, "p", []analysis.Analyzer{GlobalMut{}}, map[string]string{
+		"p.go": `package p
+
+var cacheHits int
+
+//ookami:hot kernel inner loop
+func Kernel(y, x []float64) { // want globalmut
+	for i := range y {
+		y[i] = 2 * x[i]
+	}
+	cacheHits++
+}
+
+func cold() { cacheHits++ } // unmarked, not hot: no finding
+`,
+	})
+}
+
+func TestGlobalMutTransitiveThroughHelper(t *testing.T) {
+	runFixture(t, "p", []analysis.Analyzer{GlobalMut{}}, map[string]string{
+		"p.go": `package p
+
+var stats = map[string]int{}
+
+func record(k string) { stats[k]++ }
+
+//ookami:hot
+func Run() { // want globalmut
+	record("run")
+}
+`,
+	})
+}
+
+// The trace regression: atomic.Pointer.Load on a package-level value is
+// a read, not a write — the first analyzer draft flagged all four hot
+// fast-path functions of internal/trace through the generic
+// pointer-receiver boundary rule. Store must still be flagged.
+func TestGlobalMutAtomicLoadIsReadStoreIsWrite(t *testing.T) {
+	runFixture(t, "p", []analysis.Analyzer{GlobalMut{}}, map[string]string{
+		"p.go": `package p
+
+import "sync/atomic"
+
+type state struct{ n int }
+
+var active atomic.Pointer[state]
+
+//ookami:hot disabled fast path
+func Enabled() bool {
+	return active.Load() != nil
+}
+
+//ookami:hot
+func Install(s *state) { // want globalmut
+	active.Store(s)
+}
+`,
+	})
+}
+
+func TestGlobalMutAtomicAddFunctionOnGlobal(t *testing.T) {
+	runFixture(t, "p", []analysis.Analyzer{GlobalMut{}}, map[string]string{
+		"p.go": `package p
+
+import "sync/atomic"
+
+var ops int64
+
+//ookami:hot
+func Record() { // want globalmut
+	atomic.AddInt64(&ops, 1)
+}
+
+//ookami:hot
+func Snapshot() int64 {
+	return atomic.LoadInt64(&ops)
+}
+`,
+	})
+}
+
+func TestGlobalMutLocalStateIsClean(t *testing.T) {
+	runFixture(t, "p", []analysis.Analyzer{GlobalMut{}}, map[string]string{
+		"p.go": `package p
+
+//ookami:hot
+func Triad(a, b, c []float64, s float64) {
+	for i := range a {
+		a[i] = b[i] + s*c[i]
+	}
+}
+`,
+	})
+}

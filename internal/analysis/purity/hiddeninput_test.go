@@ -1,0 +1,93 @@
+package purity
+
+import (
+	"testing"
+
+	"ookami/internal/analysis"
+)
+
+func TestHiddenInputEnvAndClock(t *testing.T) {
+	runFixture(t, "p", []analysis.Analyzer{HiddenInput{}}, map[string]string{
+		"p.go": `package p
+
+import (
+	"os"
+	"time"
+)
+
+//ookami:pure
+func Threads() string { // want hiddeninput
+	return os.Getenv("OMP_NUM_THREADS")
+}
+
+//ookami:pure
+func Stamp() int64 { // want hiddeninput
+	return time.Now().UnixNano()
+}
+`,
+	})
+}
+
+// The perfmodel regression: a certified model function summing floats
+// in map-iteration order returns different bits run to run. The fix on
+// the tree collects and sorts the keys; the analyzer still sees the
+// syntactic map range, so the fixed shape carries a documented nolint.
+func TestHiddenInputMapRangeFlaggedAndSortedFixSuppressed(t *testing.T) {
+	runFixture(t, "p", []analysis.Analyzer{HiddenInput{}}, map[string]string{
+		"p.go": `package p
+
+import "sort"
+
+//ookami:pure
+func Total(costs map[string]float64) float64 { // want hiddeninput
+	sum := 0.0
+	for _, c := range costs {
+		sum += c
+	}
+	return sum
+}
+
+//ookami:pure
+//ookami:nolint hiddeninput -- keys are collected and sorted before summation
+func TotalSorted(costs map[string]float64) float64 {
+	keys := make([]string, 0, len(costs))
+	for k := range costs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += costs[k]
+	}
+	return sum
+}
+`,
+	})
+}
+
+func TestHiddenInputTransitiveClockThroughHelper(t *testing.T) {
+	runFixture(t, "p", []analysis.Analyzer{HiddenInput{}}, map[string]string{
+		"p.go": `package p
+
+import "time"
+
+func since(t0 time.Time) float64 { return time.Since(t0).Seconds() }
+
+//ookami:pure
+func Elapsed(t0 time.Time) float64 { // want hiddeninput
+	return since(t0)
+}
+`,
+	})
+}
+
+func TestHiddenInputUncertifiedFunctionIgnored(t *testing.T) {
+	runFixture(t, "p", []analysis.Analyzer{HiddenInput{}}, map[string]string{
+		"p.go": `package p
+
+import "os"
+
+func Threads() string { return os.Getenv("OMP_NUM_THREADS") }
+`,
+	})
+}

@@ -1,0 +1,272 @@
+package purity
+
+// The parallel-safety firewall. Mirroring the compilerdiag and
+// concsurface firewalls, `ookami-vet -parsafe` loads every package of
+// the certified surface under one loader, links their effect summaries
+// into a single cross-package call graph, closes it to a fixpoint, and
+// records each //ookami:pure entry point with its accepted effect set
+// into a committed baseline. A certified function gaining an impure or
+// hidden-input effect — or losing its marker — fails `make check` until
+// the change is acknowledged with -update-baseline, so the worker-pool
+// and result-cache PRs the ROADMAP plans can trust the certified set.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ookami/internal/analysis"
+)
+
+// ParsafePackages is the default certified surface: the model/emulator
+// core the upcoming worker pool fans out over, plus every kernel
+// package whose simulate/run functions feed the bench registry.
+var ParsafePackages = []string{
+	"internal/blas",
+	"internal/cache",
+	"internal/fft",
+	"internal/hpcc",
+	"internal/loops",
+	"internal/lulesh",
+	"internal/machine",
+	"internal/npb",
+	"internal/perfmodel",
+	"internal/rng",
+	"internal/roofline",
+	"internal/stats",
+	"internal/stencil",
+	"internal/sve",
+	"internal/toolchain",
+	"internal/vmath",
+}
+
+// CertifiedEffect is one effect of a certified entry point, rendered
+// two ways: a churn-stable key for the baseline and a chain with
+// file:line frames for failure output.
+type CertifiedEffect struct {
+	Kind   string
+	Detail string
+	Chain  string
+	Impure bool
+	Hidden bool
+}
+
+// baselineKey is the stable identity an effect diffs on.
+func (e CertifiedEffect) baselineKey() string { return e.Kind + ": " + e.Detail }
+
+// CertifiedFunc is one //ookami:pure entry point with its computed
+// transitive effect set.
+type CertifiedFunc struct {
+	Package string // module-relative directory ("internal/perfmodel")
+	Func    string
+	File    string // module-relative path of the declaration
+	Effects []CertifiedEffect
+}
+
+// ParsafeEntry is the committed form of one certified entry point.
+type ParsafeEntry struct {
+	Package string   `json:"package"`
+	Func    string   `json:"func"`
+	File    string   `json:"file"`
+	Effects []string `json:"effects,omitempty"`
+}
+
+// ParsafeBaseline is the committed certification record.
+type ParsafeBaseline struct {
+	Packages []string       `json:"packages"`
+	Entries  []ParsafeEntry `json:"entries"`
+}
+
+// CollectParsafe loads the packages (module-relative directories),
+// links every package's effect summaries into one call graph, runs the
+// global fixpoint, and returns the certified entry points sorted by
+// (package, func).
+func CollectParsafe(moduleRoot string, pkgs []string) ([]CertifiedFunc, error) {
+	if len(pkgs) == 0 {
+		pkgs = ParsafePackages
+	}
+	l, err := analysis.NewLoader(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	type pkgSummary struct {
+		dir string
+		s   *summary
+	}
+	var sums []pkgSummary
+	for _, pkg := range pkgs {
+		dir := filepath.Join(moduleRoot, filepath.FromSlash(pkg))
+		units, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", pkg, err)
+		}
+		for _, u := range units {
+			if strings.HasSuffix(u.Path, "_test") {
+				continue
+			}
+			sums = append(sums, pkgSummary{dir: pkg, s: newSummary(u)})
+		}
+	}
+	// Link every summarized declaration by symbol: types.Object identity
+	// does not survive separate check runs, funcKeys do.
+	link := linker{}
+	var all []*summary
+	for _, ps := range sums {
+		all = append(all, ps.s)
+		for obj, fi := range ps.s.byObj {
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			if _, dup := link[keyOf(fn)]; !dup {
+				link[keyOf(fn)] = fi
+			}
+		}
+	}
+	closeAll(all, link)
+
+	prefix := moduleRoot + string(filepath.Separator)
+	var out []CertifiedFunc
+	for _, ps := range sums {
+		for _, fi := range ps.s.funcs {
+			if !analysis.PureFuncDecl(fi.decl) {
+				continue
+			}
+			pos := fi.p.Fset.Position(fi.decl.Pos())
+			cf := CertifiedFunc{
+				Package: ps.dir,
+				Func:    fi.name,
+				File:    filepath.ToSlash(strings.TrimPrefix(pos.Filename, prefix)),
+			}
+			var effs []*Effect
+			for _, e := range fi.effects {
+				effs = append(effs, e)
+			}
+			sortEffects(effs)
+			for _, e := range effs {
+				cf.Effects = append(cf.Effects, CertifiedEffect{
+					Kind:   e.Kind.String(),
+					Detail: e.Detail,
+					Chain:  e.Chain(fi.p.Fset),
+					Impure: e.Kind.Impure(),
+					Hidden: e.Kind.HiddenInput(),
+				})
+			}
+			out = append(out, cf)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Package != out[j].Package {
+			return out[i].Package < out[j].Package
+		}
+		return out[i].Func < out[j].Func
+	})
+	return out, nil
+}
+
+// BuildParsafeBaseline renders certified functions into the committed
+// form in stable order.
+func BuildParsafeBaseline(pkgs []string, funcs []CertifiedFunc) ParsafeBaseline {
+	if len(pkgs) == 0 {
+		pkgs = ParsafePackages
+	}
+	base := ParsafeBaseline{Packages: pkgs}
+	for _, cf := range funcs {
+		e := ParsafeEntry{Package: cf.Package, Func: cf.Func, File: cf.File}
+		for _, eff := range cf.Effects {
+			e.Effects = append(e.Effects, eff.baselineKey())
+		}
+		base.Entries = append(base.Entries, e)
+	}
+	return base
+}
+
+// DiffParsafe compares the current certified set against the baseline.
+// Regressions (fail the gate): a baseline entry point that is no longer
+// certified, or one that gained an impure or hidden-input effect.
+// Notes: effects that disappeared (re-record to tighten), parameter
+// writes that appeared (the memoization contract changed), and newly
+// certified entry points not yet recorded.
+func DiffParsafe(base ParsafeBaseline, funcs []CertifiedFunc) (regressions, notes []string) {
+	type entryKey struct{ pkg, fn string }
+	accepted := map[entryKey]map[string]bool{}
+	for _, e := range base.Entries {
+		set := map[string]bool{}
+		for _, eff := range e.Effects {
+			set[eff] = true
+		}
+		accepted[entryKey{e.Package, e.Func}] = set
+	}
+	seen := map[entryKey]bool{}
+	for _, cf := range funcs {
+		k := entryKey{cf.Package, cf.Func}
+		seen[k] = true
+		okEffects, known := accepted[k]
+		if !known {
+			notes = append(notes, fmt.Sprintf(
+				"%s: new certified entry point %s — record it with -update-baseline", cf.Package, cf.Func))
+			okEffects = map[string]bool{}
+		}
+		current := map[string]bool{}
+		for _, eff := range cf.Effects {
+			current[eff.baselineKey()] = true
+			if okEffects[eff.baselineKey()] {
+				continue
+			}
+			switch {
+			case eff.Impure || eff.Hidden:
+				if known {
+					regressions = append(regressions, fmt.Sprintf(
+						"%s: certified entry point %s gained %s: %s",
+						cf.File, cf.Func, eff.Kind, eff.Chain))
+				}
+			default:
+				notes = append(notes, fmt.Sprintf(
+					"%s: %s gained %s (%s) — the memoization contract changed; re-record to acknowledge",
+					cf.File, cf.Func, eff.Kind, eff.Detail))
+			}
+		}
+		for eff := range okEffects {
+			if !current[eff] {
+				notes = append(notes, fmt.Sprintf(
+					"%s: %s no longer has accepted effect %q — baseline can be tightened", cf.File, cf.Func, eff))
+			}
+		}
+	}
+	for _, e := range base.Entries {
+		if !seen[entryKey{e.Package, e.Func}] {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: certified entry point %s is gone — ookami:pure marker removed or function deleted; "+
+					"downstream worker-pool/cache code may still rely on it", e.File, e.Func))
+		}
+	}
+	sort.Strings(regressions)
+	sort.Strings(notes)
+	return regressions, notes
+}
+
+// LoadParsafeBaseline reads a baseline file.
+func LoadParsafeBaseline(path string) (ParsafeBaseline, error) {
+	var base ParsafeBaseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return base, err
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		return base, fmt.Errorf("parsing baseline %s: %v", path, err)
+	}
+	return base, nil
+}
+
+// SaveParsafeBaseline writes a baseline file with stable formatting.
+func SaveParsafeBaseline(path string, base ParsafeBaseline) error {
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,64 @@
+package purity
+
+import (
+	"testing"
+
+	"ookami/internal/analysis"
+)
+
+func TestRecvMutValueReceiverThroughPointerField(t *testing.T) {
+	runFixture(t, "p", []analysis.Analyzer{RecvMut{}}, map[string]string{
+		"p.go": `package p
+
+type counter struct{ n int }
+
+type Sim struct {
+	c *counter
+}
+
+func (s Sim) Tick() {
+	s.c.n++ // want recvmut
+}
+`,
+	})
+}
+
+func TestRecvMutValueReceiverThroughSliceField(t *testing.T) {
+	runFixture(t, "p", []analysis.Analyzer{RecvMut{}}, map[string]string{
+		"p.go": `package p
+
+type Grid struct {
+	v []float64
+}
+
+func (g Grid) Zero() {
+	for i := range g.v {
+		g.v[i] = 0 // want recvmut
+	}
+}
+`,
+	})
+}
+
+func TestRecvMutPointerReceiverAndLocalRebindAreClean(t *testing.T) {
+	runFixture(t, "p", []analysis.Analyzer{RecvMut{}}, map[string]string{
+		"p.go": `package p
+
+type counter struct{ n int }
+
+type Sim struct {
+	c *counter
+	k int
+}
+
+// Pointer receiver: mutation is the declared contract.
+func (s *Sim) Tick() { s.c.n++ }
+
+// Rebinding a scalar field of the copy stays in the copy.
+func (s Sim) Bump() int {
+	s.k++
+	return s.k
+}
+`,
+	})
+}

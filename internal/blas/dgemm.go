@@ -142,4 +142,6 @@ func min(a, b int) int {
 }
 
 // FlopsDgemm returns the operation count of an n x n GEMM.
+//
+//ookami:pure
 func FlopsDgemm(n int) float64 { return 2 * float64(n) * float64(n) * float64(n) }

@@ -33,6 +33,8 @@ type Stats struct {
 }
 
 // HitRate returns the fraction of accesses that hit.
+//
+//ookami:pure
 func (s Stats) HitRate() float64 {
 	if s.Accesses == 0 {
 		return 0

@@ -57,6 +57,8 @@ func (s NUMASim) ServiceCycles(accesses []Access) float64 {
 // sustains for a uniform all-threads workload of totalBytes distributed
 // per `placement`: placement[d] is the fraction of pages homed on domain
 // d. Threads are assumed spread evenly across domains.
+//
+//ookami:pure
 func (s NUMASim) EffectiveBandwidth(totalBytes float64, placement []float64) float64 {
 	var accesses []Access
 	perDomain := totalBytes / float64(s.Domains)
@@ -77,6 +79,8 @@ func (s NUMASim) EffectiveBandwidth(totalBytes float64, placement []float64) flo
 
 // FirstTouchPlacement is the even distribution parallel initialization
 // produces.
+//
+//ookami:pure
 func (s NUMASim) FirstTouchPlacement() []float64 {
 	p := make([]float64, s.Domains)
 	for i := range p {

@@ -15,6 +15,8 @@ import (
 )
 
 // NaiveDFT computes the DFT directly in O(n^2); the verification oracle.
+//
+//ookami:pure
 func NaiveDFT(x []complex128) []complex128 {
 	n := len(x)
 	out := make([]complex128, n)
@@ -31,6 +33,8 @@ func NaiveDFT(x []complex128) []complex128 {
 
 // Simple is the textbook recursive radix-2 FFT: twiddles recomputed on the
 // fly, fresh allocations at every level — the unoptimized tier.
+//
+//ookami:pure
 func Simple(x []complex128) ([]complex128, error) {
 	n := len(x)
 	if n&(n-1) != 0 || n == 0 {
@@ -71,6 +75,8 @@ type Plan struct {
 }
 
 // NewPlan prepares a plan for length n (a power of two).
+//
+//ookami:pure builds a fresh plan
 func NewPlan(n int) (*Plan, error) {
 	if n == 0 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("fft: length %d is not a power of two", n)

@@ -98,6 +98,8 @@ func RunStream(team *omp.Team, n, reps int) []StreamResult {
 // ModelStreamTriad predicts the STREAM triad rate (GB/s) for p threads on
 // machine m — the numbers behind the paper's "can be attributed to higher
 // memory bandwidth" reading of Figure 4.
+//
+//ookami:pure analytic model, no simulation state
 func ModelStreamTriad(m machine.Machine, p int) float64 {
 	if p < 1 {
 		p = 1
@@ -166,6 +168,8 @@ func RunGUPS(team *omp.Team, logSize, updates int) GUPSResult {
 
 // ModelGUPS predicts the RandomAccess rate for p threads on machine m
 // from its random-access bandwidth (8-byte updates, read+write).
+//
+//ookami:pure analytic model, no simulation state
 func ModelGUPS(m machine.Machine, p int) float64 {
 	if p < 1 {
 		p = 1

@@ -74,6 +74,8 @@ func windowPermutation(rng *rand.Rand, n, window int) []int64 {
 // --- simple: y[i] = 2*x[i] + 3*x[i]*x[i] ---
 
 // SimpleScalar is the reference loop.
+//
+//ookami:pure
 func SimpleScalar(y, x []float64) {
 	for i := range x {
 		y[i] = 2*x[i] + 3*x[i]*x[i]
@@ -81,6 +83,8 @@ func SimpleScalar(y, x []float64) {
 }
 
 // SimpleSVE is the vector form: y = x*(3x+2) with FMA, predicated tail.
+//
+//ookami:pure
 func SimpleSVE(y, x []float64) {
 	for base := 0; base < len(x); base += sve.VL {
 		p := sve.WhileLT(base, len(x))
@@ -102,6 +106,8 @@ func PredicateScalar(y, x []float64) {
 }
 
 // PredicateSVE replaces the branch with a compare + masked store.
+//
+//ookami:pure
 func PredicateSVE(y, x []float64) {
 	for base := 0; base < len(x); base += sve.VL {
 		p := sve.WhileLT(base, len(x))
@@ -124,6 +130,8 @@ func GatherScalar(y, x []float64, idx []int64) {
 // memory requests the A64FX load unit would issue given the 128-byte
 // pairing rule — the microarchitectural quantity behind the paper's
 // short-gather observation.
+//
+//ookami:pure
 func GatherSVE(y, x []float64, idx []int64) (requests int) {
 	var vi sve.I64
 	for base := 0; base < len(y); base += sve.VL {
@@ -149,6 +157,8 @@ func ScatterScalar(y, x []float64, idx []int64) {
 }
 
 // ScatterSVE uses the vector scatter.
+//
+//ookami:pure
 func ScatterSVE(y, x []float64, idx []int64) {
 	var vi sve.I64
 	for base := 0; base < len(x); base += sve.VL {

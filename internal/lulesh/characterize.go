@@ -19,6 +19,8 @@ type Character struct {
 }
 
 // Characterize returns the cost structure of a variant.
+//
+//ookami:pure
 func Characterize(v Variant) Character {
 	// Counted from the step: volumeGrad (48 hex volumes x ~45 flops),
 	// force scatter, nodal integration, element update.
@@ -41,6 +43,9 @@ func Characterize(v Variant) Character {
 
 // AppProfile converts the characterization of a run (n^3 elements for
 // `steps` cycles) into a perfmodel application profile.
+//
+//ookami:pure
+//ookami:nolint hiddeninput -- per-key map-to-map rebuild; the result is independent of traversal order
 func AppProfile(v Variant, n, steps int) perfmodel.AppProfile {
 	c := Characterize(v)
 	ne := float64(n * n * n)

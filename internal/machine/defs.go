@@ -171,6 +171,8 @@ var ThunderX2 = Machine{
 var All = []Machine{A64FX, SkylakeGold6140, SkylakeGold6130, StampedeSKX, StampedeKNL, Zen2, ThunderX2}
 
 // ByName returns the predefined machine with the given name.
+//
+//ookami:pure registry is a read-only slice
 func ByName(name string) (Machine, bool) {
 	for _, m := range All {
 		if m.Name == name {

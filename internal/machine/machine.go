@@ -98,6 +98,8 @@ func (m Machine) AllCore() float64 {
 // single-core boost down to the all-core frequency. This frequency droop is
 // why Skylake's parallel efficiency in the paper's Figure 6 tops out near
 // 0.7 even for the embarrassingly parallel EP.
+//
+//ookami:pure
 func (m Machine) ClockAt(p int) float64 {
 	if p <= 1 || m.Cores <= 1 {
 		return m.Boost()
@@ -143,6 +145,8 @@ func (m Machine) PeakGFLOPSCore() float64 {
 }
 
 // PeakGFLOPSNode is the node-level theoretical peak.
+//
+//ookami:pure
 func (m Machine) PeakGFLOPSNode() float64 {
 	return m.PeakGFLOPSCore() * float64(m.Cores)
 }
@@ -165,6 +169,8 @@ func (m Machine) CoresPerNUMA() int {
 }
 
 // NUMAOf returns the NUMA domain that core c belongs to.
+//
+//ookami:pure
 func (m Machine) NUMAOf(core int) int {
 	per := m.CoresPerNUMA()
 	if per == 0 {
@@ -179,6 +185,8 @@ func (m Machine) NUMAOf(core int) int {
 
 // MachineIntensity is the FLOP/byte ratio at which the node transitions from
 // memory-bound to compute-bound (the roofline ridge point).
+//
+//ookami:pure
 func (m Machine) MachineIntensity() float64 {
 	return m.PeakGFLOPSNode() / m.MemBWNode
 }

@@ -9,6 +9,8 @@ type Mat5 [nComp * nComp]float64
 type Vec5 [nComp]float64
 
 // Ident5 returns the identity.
+//
+//ookami:pure
 func Ident5() Mat5 {
 	var m Mat5
 	for i := 0; i < nComp; i++ {

@@ -100,6 +100,8 @@ type Instr struct {
 
 // I is a convenience constructor: I(FMA, 1, 2) depends on instructions
 // 1 and 2 of the same iteration.
+//
+//ookami:pure
 func I(op Op, deps ...int) Instr { return Instr{Op: op, Deps: deps} }
 
 // IC builds an instruction with same-iteration deps and carried deps.
@@ -112,6 +114,8 @@ type Body []Instr
 
 // Validate checks that dependence indices are in range and acyclic
 // (Deps must point strictly backwards).
+//
+//ookami:pure
 func (b Body) Validate() bool {
 	for i, ins := range b {
 		for _, d := range ins.Deps {
@@ -131,6 +135,8 @@ func (b Body) Validate() bool {
 // CountFP returns the number of floating-point-pipe instructions, the
 // figure the paper quotes ("15 floating-point instructions in the loop
 // body").
+//
+//ookami:pure
 func (b Body) CountFP() int {
 	n := 0
 	for _, ins := range b {
@@ -144,6 +150,8 @@ func (b Body) CountFP() int {
 // Repeat returns a body comprising n copies of b with intra-iteration
 // dependences preserved and carried dependences linking copy k to copy k-1
 // (software unrolling).
+//
+//ookami:pure builds a fresh body
 func (b Body) Repeat(n int) Body {
 	out := make(Body, 0, len(b)*n)
 	for k := 0; k < n; k++ {

@@ -2,6 +2,7 @@ package perfmodel
 
 import (
 	"math"
+	"sort"
 
 	"ookami/internal/machine"
 )
@@ -115,6 +116,9 @@ func effectiveBW(m machine.Machine, p int, placement Placement, churn float64) (
 // threads under exec. The model is a roofline with an Amdahl serial term,
 // frequency droop, math-library costs, NUMA placement, and barrier
 // overhead.
+//
+//ookami:pure single-node model evaluation; workers may call it concurrently
+//ookami:nolint hiddeninput -- MathCalls keys are collected and sorted before summation; iteration order cannot reach the result
 func NodeTime(m machine.Machine, app AppProfile, exec ExecParams, p int) float64 {
 	if p < 1 {
 		panic("perfmodel: thread count must be >= 1")
@@ -126,12 +130,20 @@ func NodeTime(m machine.Machine, app AppProfile, exec ExecParams, p int) float64
 
 	computeCycles := app.Flops * (1 - app.ChainFrac) * exec.CyclesPerFlop
 	computeCycles += app.Flops * app.ChainFrac * chainFactor(m)
-	for fn, count := range app.MathCalls {
+	// Sum math-library cycles in sorted key order: float addition is not
+	// associative, so ranging over the map directly would let Go's
+	// randomized iteration order perturb the model output between runs.
+	fns := make([]MathFn, 0, len(app.MathCalls))
+	for fn := range app.MathCalls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i] < fns[j] })
+	for _, fn := range fns {
 		cost, ok := exec.MathCost[fn]
 		if !ok {
 			cost = 40 // conservative serial-call default
 		}
-		computeCycles += count * cost
+		computeCycles += app.MathCalls[fn] * cost
 	}
 	serial := app.SerialFrac * computeCycles / clockHz
 	parallel := (1 - app.SerialFrac) * computeCycles / (float64(p) * clockHz)
@@ -156,6 +168,9 @@ func NodeTime(m machine.Machine, app AppProfile, exec ExecParams, p int) float64
 }
 
 // ScalingCurve returns runtimes for each thread count in threads.
+//
+//ookami:pure per-thread-count sweep of NodeTime
+//ookami:nolint hiddeninput -- inherits NodeTime's sorted map traversal
 func ScalingCurve(m machine.Machine, app AppProfile, exec ExecParams, threads []int) []float64 {
 	out := make([]float64, len(threads))
 	for i, p := range threads {

@@ -169,3 +169,32 @@ func TestMathFnPlacementStrings(t *testing.T) {
 		t.Error("Placement names")
 	}
 }
+
+// TestNodeTimeMathCallSummationIsDeterministic is the regression test
+// for the map-iteration-order bug the purity pass surfaced: NodeTime
+// used to sum math-library cycles by ranging over the MathCalls map
+// directly, so Go's randomized iteration order could change the
+// floating-point summation order — and therefore the model output —
+// between calls with identical inputs. The costs below are chosen so
+// any reordering of the non-associative sum changes the result bits.
+func TestNodeTimeMathCallSummationIsDeterministic(t *testing.T) {
+	app := computeApp
+	app.MathCalls = map[MathFn]float64{
+		FnExp:   1e9 + 0.3,
+		FnLog:   1e-7,
+		FnSin:   3e8 + 0.7,
+		FnPow:   1e-9,
+		FnSqrt:  7e7 + 0.1,
+		FnRecip: 1e-5,
+	}
+	exec := plainExec
+	exec.MathCost = map[MathFn]float64{
+		FnExp: 4.25, FnLog: 5.5, FnSin: 6.75, FnPow: 21.125, FnSqrt: 2.375, FnRecip: 1.625,
+	}
+	want := NodeTime(machine.A64FX, app, exec, 12)
+	for i := 0; i < 200; i++ {
+		if got := NodeTime(machine.A64FX, app, exec, 12); got != want {
+			t.Fatalf("call %d: NodeTime not bit-stable: got %v, want %v", i, got, want)
+		}
+	}
+}

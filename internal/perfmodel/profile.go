@@ -28,6 +28,8 @@ type Profile struct {
 
 // CostOf returns the cost of op, falling back to a generic single-cycle
 // pipelined cost for unlisted classes.
+//
+//ookami:pure read-only table lookup
 func (p *Profile) CostOf(op Op) Cost {
 	if c, ok := p.Costs[op]; ok {
 		return c
@@ -136,6 +138,8 @@ var SkylakeProfile = Profile{
 // one exists. Only the two machines of the single-core studies need
 // instruction-level profiles; the cluster-level comparisons use the
 // roofline model instead.
+//
+//ookami:pure returns a fresh copy of the package table
 func ProfileFor(name string) (*Profile, bool) {
 	switch name {
 	case machine.A64FX.Name:

@@ -26,6 +26,8 @@ type schedInstr struct {
 
 // Schedule simulates iters iterations of body and returns the total cycles
 // until the last instruction's result is available.
+//
+//ookami:pure scheduler operates on local state only
 func (p *Profile) Schedule(body Body, iters int) int {
 	if len(body) == 0 || iters == 0 {
 		return 0
@@ -135,6 +137,8 @@ func (p *Profile) Schedule(body Body, iters int) int {
 
 // CyclesPerIter returns the steady-state cycles per loop iteration,
 // measured by differencing two long runs to cancel fill/drain effects.
+//
+//ookami:pure
 func (p *Profile) CyclesPerIter(body Body) float64 {
 	const k = 64
 	t1 := p.Schedule(body, k)
@@ -144,6 +148,8 @@ func (p *Profile) CyclesPerIter(body Body) float64 {
 
 // CyclesPerElement is CyclesPerIter divided by the number of elements one
 // iteration processes (vector lanes x unroll factor).
+//
+//ookami:pure
 func (p *Profile) CyclesPerElement(body Body, elemsPerIter int) float64 {
 	if elemsPerIter <= 0 {
 		panic("perfmodel: elemsPerIter must be positive")
@@ -153,6 +159,8 @@ func (p *Profile) CyclesPerElement(body Body, elemsPerIter int) float64 {
 
 // SecondsFor converts a cycles-per-element figure into runtime for n
 // elements at the profile's clock.
+//
+//ookami:pure
 func (p *Profile) SecondsFor(cyclesPerElem float64, n int) float64 {
 	return cyclesPerElem * float64(n) / (p.ClockGHz * 1e9)
 }

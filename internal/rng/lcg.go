@@ -68,6 +68,8 @@ func (g *LCG) Skip(n uint64) {
 
 // At returns a new generator positioned n steps after seed, without
 // mutating g (convenience for spawning per-thread streams).
+//
+//ookami:pure builds a fresh generator
 func At(seed, n uint64) *LCG {
 	g := NewLCG(seed)
 	g.Skip(n)
@@ -82,6 +84,8 @@ type SplitMix64 struct {
 }
 
 // Uint64 returns the i-th element of the stream.
+//
+//ookami:pure counter-mode generator, no internal state
 func (s SplitMix64) Uint64(i uint64) uint64 {
 	z := s.Seed + (i+1)*0x9E3779B97F4A7C15
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
@@ -90,11 +94,15 @@ func (s SplitMix64) Uint64(i uint64) uint64 {
 }
 
 // Float64 returns the i-th element as a double in [0, 1).
+//
+//ookami:pure
 func (s SplitMix64) Float64(i uint64) float64 {
 	return float64(s.Uint64(i)>>11) * (1.0 / (1 << 53))
 }
 
 // Fill populates dst with consecutive stream elements starting at `from`.
+//
+//ookami:pure fills only the caller-owned dst
 func (s SplitMix64) Fill(dst []float64, from uint64) {
 	for i := range dst {
 		dst[i] = s.Float64(from + uint64(i))

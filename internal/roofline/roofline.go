@@ -26,16 +26,22 @@ type Point struct {
 
 // Attainable returns the rooflined GFLOP/s of machine m at arithmetic
 // intensity ai (flops/byte), at full node.
+//
+//ookami:pure
 func Attainable(m machine.Machine, ai float64) float64 {
 	return math.Min(m.PeakGFLOPSNode(), ai*m.MemBWNode)
 }
 
 // Ridge returns the machine's ridge point: the intensity where the memory
 // and compute roofs meet.
+//
+//ookami:pure
 func Ridge(m machine.Machine) float64 { return m.MachineIntensity() }
 
 // Place positions an application (by its perfmodel characterization) on
 // machine m's roofline.
+//
+//ookami:pure
 func Place(m machine.Machine, app perfmodel.AppProfile) Point {
 	bytes := app.StreamBytes + app.RandomBytes +
 		app.StridedBytes*float64(m.CacheLineB)/64
@@ -105,6 +111,8 @@ func Render(m machine.Machine, points []Point, width, height int) string {
 
 // Compare reports, for an application, which of two machines offers the
 // higher attainable rate — the Figure 4 predictor.
+//
+//ookami:pure
 func Compare(a, b machine.Machine, app perfmodel.AppProfile) (winner string, ratio float64) {
 	ga := Place(a, app).GFLOPS
 	gb := Place(b, app).GFLOPS

@@ -23,6 +23,8 @@ type Summary struct {
 // sample containing NaN both yield NaN statistics (with N recording the
 // input length): a zero Mean would read as a real measurement, which is
 // exactly how a silently-broken benchmark harness fakes a speedup.
+//
+//ookami:pure
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		nan := math.NaN()
@@ -96,6 +98,8 @@ func Median(xs []float64) float64 {
 // run-to-run noise measure the benchmark runner gates on. It is NaN for
 // empty or NaN-contaminated samples and for a zero mean, and 0 for a
 // single-sample input (no spread information).
+//
+//ookami:pure
 func CoV(xs []float64) float64 {
 	s := Summarize(xs)
 	if s.N == 0 || math.IsNaN(s.Mean) || s.Mean == 0 {
@@ -107,6 +111,8 @@ func CoV(xs []float64) float64 {
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using
 // linear interpolation between order statistics, without mutating xs.
 // It is NaN for empty input.
+//
+//ookami:pure sorts a private copy
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
@@ -134,6 +140,8 @@ func Percentile(xs []float64, p float64) float64 {
 // with a deterministic generator seeded by seed, so repeated analyses
 // of the same sample agree bit-for-bit. It returns (NaN, NaN) for an
 // empty sample and the degenerate interval (x, x) for a single sample.
+//
+//ookami:pure resamples with an explicitly seeded generator; purity is conditional on the stat argument
 func BootstrapCI(xs []float64, stat func([]float64) float64, conf float64, iters int, seed int64) (lo, hi float64) {
 	if len(xs) == 0 {
 		return math.NaN(), math.NaN()

@@ -36,6 +36,8 @@ func (g *Grid3) Idx(i, j, k int) int {
 
 // Seven7Scalar applies one Jacobi step of the 7-point stencil
 // out = c0*u + c1*(sum of 6 face neighbours), scalar reference form.
+//
+//ookami:pure writes only the caller-owned out grid
 func Seven7Scalar(out, g *Grid3, c0, c1 float64) {
 	n := g.N
 	for i := 0; i < n; i++ {
@@ -52,6 +54,8 @@ func Seven7Scalar(out, g *Grid3, c0, c1 float64) {
 
 // Seven7SVE is the vector form: unit-stride loads along k with shifted
 // neighbour vectors — the shape every compiler in the study vectorizes.
+//
+//ookami:pure writes only the caller-owned out grid
 func Seven7SVE(out, g *Grid3, c0, c1 float64) {
 	n := g.N
 	vc0 := sve.Dup(c0)

@@ -34,6 +34,8 @@ var fexpaTable = func() [64]uint64 {
 // the low 6 bits select the 2^(i/64) fraction from the coefficient table and
 // bits [16:6] become the biased exponent, yielding 2^(m + i/64) when the
 // operand holds (m+1023)<<6 | i. Bits above 16 are ignored, as on hardware.
+//
+//ookami:pure
 func FexpaScalar(z uint64) float64 {
 	idx := z & 0x3F
 	exp := (z >> 6) & 0x7FF
@@ -42,6 +44,8 @@ func FexpaScalar(z uint64) float64 {
 
 // Fexpa applies the FEXPA transformation per active lane; inactive lanes
 // produce zero.
+//
+//ookami:pure
 func Fexpa(p Pred, z U64) F64 {
 	var v F64
 	for i := range v {

@@ -29,6 +29,8 @@ type I64 [VL]int64
 type Pred [VL]bool
 
 // PTrue returns the all-true predicate (ptrue p.d).
+//
+//ookami:pure
 func PTrue() Pred {
 	var p Pred
 	for i := range p {
@@ -42,6 +44,8 @@ func PFalse() Pred { return Pred{} }
 
 // WhileLT builds the predicate for the canonical SVE vector-length-agnostic
 // loop: lane i is active iff base+i < n (whilelt p.d, base, n).
+//
+//ookami:pure
 func WhileLT(base, n int) Pred {
 	var p Pred
 	for i := range p {
@@ -90,6 +94,8 @@ func (p Pred) Not() Pred {
 }
 
 // Dup broadcasts a scalar to all lanes (dup z.d, #x / mov z.d, x).
+//
+//ookami:pure
 func Dup(x float64) F64 {
 	var v F64
 	for i := range v {
@@ -118,6 +124,8 @@ func Index(base, step int64) I64 {
 
 // Load reads eight contiguous float64s starting at xs[base] under predicate
 // p; inactive lanes are zero (ld1d with zeroing).
+//
+//ookami:pure
 func Load(xs []float64, base int, p Pred) F64 {
 	var v F64
 	for i := range v {
@@ -129,6 +137,8 @@ func Load(xs []float64, base int, p Pred) F64 {
 }
 
 // Store writes active lanes of v to xs starting at base (st1d).
+//
+//ookami:pure writes only the caller-owned destination slice
 func Store(xs []float64, base int, p Pred, v F64) {
 	for i := range v {
 		if p[i] {
@@ -139,6 +149,8 @@ func Store(xs []float64, base int, p Pred, v F64) {
 
 // Add is lane-wise addition under predicate p; inactive lanes keep a's value
 // (fadd z.d, p/m, ...).
+//
+//ookami:pure
 func Add(p Pred, a, b F64) F64 {
 	for i := range a {
 		if p[i] {
@@ -180,6 +192,8 @@ func Div(p Pred, a, b F64) F64 {
 
 // Fma returns acc + a*b per active lane, fused (fmla z.d, p/m, a, b). The
 // emulation uses math.FMA so rounding matches a hardware FMLA.
+//
+//ookami:pure
 func Fma(p Pred, acc, a, b F64) F64 {
 	for i := range acc {
 		if p[i] {
@@ -280,6 +294,8 @@ func CmpLT(p Pred, a, b F64) Pred {
 }
 
 // AddV is the horizontal sum of active lanes (faddv).
+//
+//ookami:pure
 func AddV(p Pred, a F64) float64 {
 	s := 0.0
 	for i := range a {
@@ -294,6 +310,8 @@ func AddV(p Pred, a F64) float64 {
 // cost on A64FX — a blocking 134-cycle latency for a 512-bit vector — is
 // captured by the performance model, and is the reason the paper's Cray and
 // Fujitsu compilers avoid this instruction in favour of Newton iteration.
+//
+//ookami:pure
 func Sqrt(p Pred, a F64) F64 {
 	for i := range a {
 		if p[i] {
@@ -304,6 +322,8 @@ func Sqrt(p Pred, a F64) F64 {
 }
 
 // Gather loads xs[idx[i]] per active lane (ld1d z.d, p/z, [x, z.d]).
+//
+//ookami:pure
 func Gather(p Pred, xs []float64, idx I64) F64 {
 	var v F64
 	for i := range v {
@@ -317,6 +337,8 @@ func Gather(p Pred, xs []float64, idx I64) F64 {
 // Scatter stores active lanes of v to xs[idx[i]] (st1d z.d, p, [x, z.d]).
 // When two active lanes share an index the higher lane wins, matching the
 // architectural ordering.
+//
+//ookami:pure writes only the caller-owned destination slice
 func Scatter(p Pred, xs []float64, idx I64, v F64) {
 	for i := 0; i < VL; i++ {
 		if p[i] {

@@ -86,8 +86,14 @@ var serialLibCost = map[perfmodel.MathFn]float64{
 	perfmodel.FnRecip: 12,
 }
 
-// I is shorthand for perfmodel.I inside the body builders.
-var ins = perfmodel.I
+// ins is shorthand for perfmodel.I inside the body builders. A real
+// declaration rather than `var ins = perfmodel.I`: a package-level
+// function value is mutable state and an unanalyzable indirect call,
+// which kept every body builder — and Compile above them — out of the
+// certified-pure set.
+func ins(op perfmodel.Op, deps ...int) perfmodel.Instr {
+	return perfmodel.I(op, deps...)
+}
 
 // assemble wraps a compute body with the toolchain's loop control: the
 // compute part is unrolled, then the induction variable, the predicate
@@ -109,6 +115,8 @@ func (tc Toolchain) assemble(compute perfmodel.Body, lanes int) (perfmodel.Body,
 // Compile lowers a loop for the given machine. The returned CompiledLoop
 // feeds perfmodel for cycle estimation. Compile panics if the toolchain
 // does not target the machine's ISA.
+//
+//ookami:pure lowering touches only its inputs and fresh bodies
 func (tc Toolchain) Compile(l Loop, m machine.Machine) CompiledLoop {
 	if !tc.Supports(m) {
 		panic(fmt.Sprintf("toolchain %s does not target %s", tc.Name, m.Name))
@@ -172,6 +180,8 @@ func (tc Toolchain) Compile(l Loop, m machine.Machine) CompiledLoop {
 // CyclesPerElement runs the compiled loop through the scheduler (or the
 // serial cost for unvectorized loops) and returns cycles per element on
 // the machine's profile.
+//
+//ookami:pure
 func (c CompiledLoop) CyclesPerElement(p *perfmodel.Profile) float64 {
 	if !c.Vectorized {
 		return c.SerialCyclesPerElem
@@ -181,6 +191,8 @@ func (c CompiledLoop) CyclesPerElement(p *perfmodel.Profile) float64 {
 
 // RuntimeSeconds is the modeled runtime over n elements at the profile's
 // clock.
+//
+//ookami:pure
 func (c CompiledLoop) RuntimeSeconds(p *perfmodel.Profile, n int) float64 {
 	return p.SecondsFor(c.CyclesPerElement(p), n)
 }

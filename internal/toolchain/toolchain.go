@@ -123,6 +123,8 @@ var OnA64FX = []Toolchain{Fujitsu, Cray, Arm, GNU}
 var All = []Toolchain{Fujitsu, Cray, Arm, GNU, Intel}
 
 // ByName looks a toolchain up by name.
+//
+//ookami:pure registry is a read-only slice
 func ByName(name string) (Toolchain, bool) {
 	for _, tc := range All {
 		if tc.Name == name {

@@ -122,6 +122,8 @@ func expVec(p sve.Pred, x sve.F64, form PolyForm) sve.F64 {
 // Exp computes dst[i] = exp(src[i]) with the FEXPA kernel in the given
 // polynomial form, using the canonical SVE vector-length-agnostic loop
 // (whilelt-governed, predicated tail). dst and src must be equal length.
+//
+//ookami:pure fills only the caller-owned dst
 func Exp(dst, src []float64, form PolyForm) {
 	checkLen(dst, src)
 	for base := 0; base < len(src); base += sve.VL {

@@ -9,6 +9,8 @@ import (
 // Log computes dst[i] = ln(src[i]) vector-wise: log2 via the mantissa
 // decomposition kernel, scaled by ln 2 with a compensated product to keep
 // the error near 1 ulp.
+//
+//ookami:pure fills only the caller-owned dst
 func Log(dst, src []float64) {
 	checkLen(dst, src)
 	const (

@@ -80,6 +80,8 @@ func log2Vec(p sve.Pred, x sve.F64) sve.F64 {
 
 // Pow computes dst[i] = xs[i]^ys[i] lane-wise for positive bases using
 // 2^(y*log2 x) with the FEXPA scale path.
+//
+//ookami:pure fills only the caller-owned dst
 func Pow(dst, xs, ys []float64) {
 	checkLen(dst, xs)
 	checkLen(dst, ys)

@@ -17,6 +17,8 @@ import (
 
 // RecipNewton computes dst[i] = 1/src[i] via FRECPE + 3 Newton steps
 // (8 -> 16 -> 32 -> 64 bits of precision).
+//
+//ookami:pure fills only the caller-owned dst
 func RecipNewton(dst, src []float64) {
 	checkLen(dst, src)
 	for base := 0; base < len(src); base += sve.VL {
@@ -48,6 +50,8 @@ func RecipDiv(dst, src []float64) {
 
 // SqrtNewton computes dst[i] = sqrt(src[i]) as x*rsqrt(x) with FRSQRTE +
 // 3 Newton steps — the non-blocking algorithm Cray and Fujitsu select.
+//
+//ookami:pure fills only the caller-owned dst
 func SqrtNewton(dst, src []float64) {
 	checkLen(dst, src)
 	for base := 0; base < len(src); base += sve.VL {

@@ -42,6 +42,8 @@ var cosPoly = []float64{
 }
 
 // Sin computes dst[i] = sin(src[i]) vector-wise.
+//
+//ookami:pure fills only the caller-owned dst
 func Sin(dst, src []float64) {
 	checkLen(dst, src)
 	for base := 0; base < len(src); base += sve.VL {
