@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet compilerdiag baseline concsurface concbaseline parsafe parsafebaseline check fuzz-cfg fuzz-purity bench benchgate benchrecord gobench figures trace-smoke
+.PHONY: build test race vet compilerdiag baseline concsurface concbaseline parsafe parsafebaseline check fuzz-cfg fuzz-purity bench benchgate benchrecord gobench figures trace-smoke par-smoke
 
 build:
 	$(GO) build ./...
@@ -98,6 +98,18 @@ trace-smoke:
 	$(GO) run ./cmd/ookami-trace summary trace_ep.json
 	$(GO) run ./cmd/ookami-trace chrome -o trace_ep.chrome.json trace_ep.json
 	$(GO) run ./cmd/ookami-trace summary trace_ep.chrome.json > /dev/null
+
+# Parallel-execution smoke: the parexec engine and sharded-runner test
+# suites under the race detector (both assert goroutine-leak freedom
+# via testutil.CheckGoroutineLeak), then a small race-built parallel
+# bench sweep and a parallel figure generation diffed byte-for-byte
+# against the engine-less serial output. See docs/BENCHMARKS.md.
+par-smoke:
+	$(GO) test -race -count=1 ./internal/parexec ./internal/bench ./internal/figures -run 'TestEngine|TestRunAllSharded|TestPool|TestMemo|TestDispatch'
+	$(GO) run -race ./cmd/ookami-bench run -parallel 4 -filter 'loops/' -repeats 2 -q -out BENCH_par_smoke.json
+	$(GO) run -race ./cmd/ookami-figures -parallel 4 -only fig1,fig2,expstudy > figs_par_smoke.txt
+	$(GO) run ./cmd/ookami-figures -parallel -1 -only fig1,fig2,expstudy | cmp - figs_par_smoke.txt
+	rm -f BENCH_par_smoke.json figs_par_smoke.txt
 
 # The raw `go test -bench` harness (figures/tables + kernel wall-clock).
 gobench:

@@ -9,7 +9,8 @@
 //
 //	ookami-bench list
 //	ookami-bench run [-filter regex] [-repeats n] [-warmup n] [-timeout d]
-//	                 [-cov f] [-retries n] [-out file] [-trace file] [-json] [-q]
+//	                 [-cov f] [-retries n] [-parallel n] [-out file] [-trace file]
+//	                 [-json] [-q]
 //	ookami-bench compare [-baseline file] [-current file]
 //	                     [-threshold f] [-noise-mult f]
 //	ookami-bench record -update-baseline [run flags]
@@ -97,7 +98,7 @@ func usage(p *printer) {
 	p.f("usage: ookami-bench <list|run|compare|record> [flags]\n")
 	p.f("  list                      list registered workloads\n")
 	p.f("  run     [-filter re] [-repeats n] [-warmup n] [-timeout d] [-cov f]\n")
-	p.f("          [-retries n] [-out file] [-trace file] [-json] [-q]\n")
+	p.f("          [-retries n] [-parallel n] [-out file] [-trace file] [-json] [-q]\n")
 	p.f("                            run and store results\n")
 	p.f("  compare [-baseline file] [-current file] [-threshold f] [-noise-mult f]\n")
 	p.f("                            diff against a baseline; exit 1 on regression\n")
@@ -138,7 +139,7 @@ func paramString(params map[string]string) string {
 }
 
 // runFlags defines the flags shared by `run` and `record`.
-func runFlags(fs *flag.FlagSet) (filter *string, opt *bench.Options, jsonOut, quiet *bool, outPath, tracePath *string) {
+func runFlags(fs *flag.FlagSet) (filter *string, opt *bench.Options, jsonOut, quiet *bool, outPath, tracePath *string, parallel *int) {
 	filter = fs.String("filter", "", "regexp selecting workload names (default: all)")
 	opt = &bench.Options{}
 	fs.IntVar(&opt.Repeats, "repeats", 0, "timed samples per workload (default 5)")
@@ -150,21 +151,22 @@ func runFlags(fs *flag.FlagSet) (filter *string, opt *bench.Options, jsonOut, qu
 	quiet = fs.Bool("q", false, "suppress per-workload progress")
 	outPath = fs.String("out", bench.DefaultReportPath, "result file to write")
 	tracePath = fs.String("trace", "", "trace the run: write Chrome trace_event JSON to `file` (OOKAMI_TRACE also enables)")
+	parallel = fs.Int("parallel", 1, "runner shards; >1 fans workloads across goroutines with noisy results re-measured serially (default 1: sequential)")
 	return
 }
 
 func cmdRun(args []string, out, errOut *printer) int {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	fs.SetOutput(errOut.w)
-	filter, opt, jsonOut, quiet, outPath, tracePath := runFlags(fs)
+	filter, opt, jsonOut, quiet, outPath, tracePath, parallel := runFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	return doRun(*filter, *opt, *jsonOut, *quiet, *outPath, *tracePath, out, errOut)
+	return doRun(*filter, *opt, *jsonOut, *quiet, *outPath, *tracePath, *parallel, out, errOut)
 }
 
 // doRun executes the selected workloads and writes the report.
-func doRun(filter string, opt bench.Options, jsonOut, quiet bool, outPath, tracePath string, out, errOut *printer) int {
+func doRun(filter string, opt bench.Options, jsonOut, quiet bool, outPath, tracePath string, parallel int, out, errOut *printer) int {
 	ws, err := bench.Match(filter)
 	if err != nil {
 		errOut.f("ookami-bench: %v\n", err)
@@ -180,7 +182,7 @@ func doRun(filter string, opt bench.Options, jsonOut, quiet bool, outPath, trace
 	if tracePath != "" {
 		trace.Enable()
 	}
-	rep := bench.RunAll(context.Background(), ws, opt)
+	rep := bench.RunAllSharded(context.Background(), ws, opt, parallel)
 	if tp := effectiveTracePath(tracePath); tp != "" || trace.Enabled() {
 		if err := trace.Finish(tp, nil); err != nil {
 			errOut.f("ookami-bench: trace: %v\n", err)
@@ -285,7 +287,7 @@ func cmdCompare(args []string, out, errOut *printer) int {
 func cmdRecord(args []string, out, errOut *printer) int {
 	fs := flag.NewFlagSet("record", flag.ContinueOnError)
 	fs.SetOutput(errOut.w)
-	filter, opt, jsonOut, quiet, _, tracePath := runFlags(fs)
+	filter, opt, jsonOut, quiet, _, tracePath, parallel := runFlags(fs)
 	update := fs.Bool("update-baseline", false, "required: rewrite the committed baseline")
 	baseline := fs.String("baseline", bench.DefaultBaselinePath, "baseline file to write")
 	if err := fs.Parse(args); err != nil {
@@ -295,9 +297,13 @@ func cmdRecord(args []string, out, errOut *printer) int {
 		errOut.f("ookami-bench: record refuses to overwrite the baseline without -update-baseline\n")
 		return 2
 	}
+	if *parallel > 1 {
+		// Committed baselines must carry sequential-fidelity timings.
+		errOut.f("ookami-bench: note: record always runs sequentially; ignoring -parallel %d\n", *parallel)
+	}
 	if opt.Repeats == 0 {
 		// Baselines deserve more samples than ad-hoc runs.
 		opt.Repeats = 7
 	}
-	return doRun(*filter, *opt, *jsonOut, *quiet, *baseline, *tracePath, out, errOut)
+	return doRun(*filter, *opt, *jsonOut, *quiet, *baseline, *tracePath, 1, out, errOut)
 }

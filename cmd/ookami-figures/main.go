@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	ookami-figures [-out results/] [-only fig1,fig2]
+//	ookami-figures [-out results/] [-only fig1,fig2] [-parallel n]
+//
+// -parallel 1 (the default) runs the generators serially through the
+// certified memoized engine; -parallel n > 1 additionally fans
+// independent figures across n workers. Output is printed in paper
+// order and bit-identical in every mode — the engine only memoizes
+// queries certified pure by the parsafe firewall.
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 	"strings"
 
 	"ookami/internal/figures"
+	"ookami/internal/parexec"
+	"ookami/internal/stats"
 )
 
 func main() {
@@ -25,7 +33,12 @@ func main() {
 	only := flag.String("only", "", "comma-separated figure ids to generate (default: all)")
 	extras := flag.Bool("extras", false, "also generate the ablation studies beyond the paper")
 	scorecard := flag.Bool("scorecard", false, "print the paper-vs-model audit scorecard and exit")
+	parallel := flag.Int("parallel", 1, "workers for figure generation (1: serial+memoized; 0: GOMAXPROCS; <0: no engine)")
 	flag.Parse()
+
+	eng := engineFor(*parallel)
+	defer eng.Close()
+	figures.SetEngine(eng)
 
 	if *scorecard {
 		fmt.Println(figures.Scorecard())
@@ -49,12 +62,23 @@ func main() {
 	if *extras {
 		items = append(items, figures.Extras()...)
 	}
-	n := 0
+	var selected []figures.Item
 	for _, item := range items {
 		if len(want) > 0 && !want[item.ID] {
 			continue
 		}
-		tab := item.Generate()
+		selected = append(selected, item)
+	}
+	if len(selected) == 0 {
+		log.Fatalf("no figures matched %q; known ids:\n  %s", *only, knownIDs())
+	}
+
+	// Generate (possibly fanned across the engine's pool), then print and
+	// write strictly in paper order: tables land at their item's index.
+	tables := make([]*stats.Table, len(selected))
+	eng.Map(len(selected), func(i int) { tables[i] = selected[i].Generate() })
+	for i, item := range selected {
+		tab := tables[i]
 		fmt.Println(tab)
 		if *out != "" {
 			base := filepath.Join(*out, item.ID)
@@ -65,13 +89,23 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		n++
-	}
-	if n == 0 {
-		log.Fatalf("no figures matched %q; known ids:\n  %s", *only, knownIDs())
 	}
 	if *out != "" {
-		log.Printf("wrote %d artifacts to %s", n, *out)
+		log.Printf("wrote %d artifacts to %s", len(selected), *out)
+	}
+}
+
+// engineFor maps the -parallel flag to an engine: negative disables the
+// engine entirely (the pre-engine direct paths), 1 is the serial
+// memoized default, anything else sizes a worker pool.
+func engineFor(parallel int) *parexec.Engine {
+	switch {
+	case parallel < 0:
+		return nil
+	case parallel == 1:
+		return parexec.NewSerial()
+	default:
+		return parexec.New(parallel)
 	}
 }
 

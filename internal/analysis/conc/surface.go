@@ -28,6 +28,7 @@ var SurfacePackages = []string{
 	"internal/bench",
 	"internal/mpi",
 	"internal/omp",
+	"internal/parexec",
 	"internal/trace",
 }
 

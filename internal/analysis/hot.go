@@ -18,6 +18,7 @@ var KernelPackages = []string{
 	"internal/lulesh",
 	"internal/npb",
 	"internal/stencil",
+	"internal/sve",
 	"internal/vmath",
 }
 

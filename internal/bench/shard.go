@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"ookami/internal/parexec"
+)
+
+// RunAllSharded fans the workloads across `shards` concurrent runner
+// goroutines (a parexec pool) instead of the strictly sequential RunAll.
+// Concurrent benchmarks measure each other, so sharding trades timing
+// fidelity for wall time — useful for smoke sweeps and CI, not for
+// recording baselines. Two mitigations keep the numbers honest:
+//
+//   - results land at their workload's input index, so report order (and
+//     everything derived from it: CSV, compare, baselines) is identical
+//     to the sequential path;
+//   - a per-shard interference gate: any workload whose sample CoV was
+//     flagged noisy during the parallel phase is re-measured serially
+//     afterwards, when no sibling shard is running — cross-shard
+//     interference is the expected cause, and the serial re-run restores
+//     the sequential path's measurement conditions for exactly the
+//     results that need them.
+//
+// shards <= 1 (or a single workload) falls back to RunAll: the default
+// path stays byte-for-byte the sequential runner.
+func RunAllSharded(ctx context.Context, ws []Workload, opt Options, shards int) *Report {
+	if shards <= 1 || len(ws) <= 1 {
+		return RunAll(ctx, ws, opt)
+	}
+	opt = opt.withDefaults()
+	if shards > len(ws) {
+		shards = len(ws)
+	}
+	results := make([]Result, len(ws))
+	started := make([]bool, len(ws))
+	pool := parexec.NewPool(shards)
+	pool.Map(len(ws), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		started[i] = true
+		results[i] = runOne(ctx, ws[i], opt)
+	})
+	pool.Close()
+
+	// Serial re-measure pass for the interference-gated workloads.
+	for i := range results {
+		if !started[i] || results[i].ErrKind != ErrNoisy || ctx.Err() != nil {
+			continue
+		}
+		if opt.Log != nil {
+			fmt.Fprintf(opt.Log, "%-28s noisy under %d shards; re-measuring serially\n",
+				ws[i].Name, shards)
+		}
+		serial := runOne(ctx, ws[i], opt)
+		serial.Attempts += results[i].Attempts
+		results[i] = serial
+	}
+
+	rep := newReport()
+	for i := range results {
+		if !started[i] {
+			continue // cancelled before this workload began — as RunAll omits them
+		}
+		rep.Results = append(rep.Results, results[i])
+		if opt.Log != nil {
+			fmt.Fprintln(opt.Log, progressLine(&results[i]))
+		}
+	}
+	return rep
+}

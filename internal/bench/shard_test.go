@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"ookami/internal/testutil"
+)
+
+// fakeWorkload is a fast deterministic workload for runner tests.
+func fakeWorkload(name string, d time.Duration) Workload {
+	return Workload{
+		Name: name,
+		Doc:  "test workload",
+		Setup: func() (func(), error) {
+			return func() { time.Sleep(d) }, nil
+		},
+	}
+}
+
+func TestRunAllShardedMatchesSequentialOrder(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	ws := []Workload{
+		fakeWorkload("shard/a", 2*time.Millisecond),
+		fakeWorkload("shard/b", time.Millisecond),
+		fakeWorkload("shard/c", 3*time.Millisecond),
+		fakeWorkload("shard/d", time.Millisecond),
+	}
+	opt := Options{Repeats: 3, Warmup: 1, Timeout: 10 * time.Second}
+	rep := RunAllSharded(context.Background(), ws, opt, 3)
+	if len(rep.Results) != len(ws) {
+		t.Fatalf("got %d results, want %d", len(rep.Results), len(ws))
+	}
+	for i, w := range ws {
+		if rep.Results[i].Name != w.Name {
+			t.Errorf("result %d is %q, want %q (input order must be preserved)",
+				i, rep.Results[i].Name, w.Name)
+		}
+		if rep.Results[i].Failed() {
+			t.Errorf("%s failed: %s", w.Name, rep.Results[i].Error)
+		}
+	}
+}
+
+func TestRunAllShardedFallsBackToSequential(t *testing.T) {
+	ws := []Workload{fakeWorkload("shard/solo", time.Millisecond)}
+	opt := Options{Repeats: 2, Timeout: 10 * time.Second}
+	for _, shards := range []int{0, 1, 4} {
+		rep := RunAllSharded(context.Background(), ws, opt, shards)
+		if len(rep.Results) != 1 || rep.Results[0].Failed() {
+			t.Fatalf("shards=%d: unexpected report %+v", shards, rep.Results)
+		}
+	}
+}
+
+// TestRunAllShardedSerialRemeasure pins the per-shard interference gate:
+// a workload flagged noisy in the parallel phase is re-measured serially.
+func TestRunAllShardedSerialRemeasure(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	// A CoV gate of near-zero flags everything noisy, so the serial pass
+	// must run for each workload; we observe it through the log.
+	ws := []Workload{
+		fakeWorkload("shard/n1", time.Millisecond),
+		fakeWorkload("shard/n2", time.Millisecond),
+	}
+	var log strings.Builder
+	opt := Options{Repeats: 3, Timeout: 10 * time.Second,
+		MaxCoV: 1e-12, Retries: 1, Backoff: time.Microsecond, Log: &log}
+	rep := RunAllSharded(context.Background(), ws, opt, 2)
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results", len(rep.Results))
+	}
+	for i := range rep.Results {
+		if rep.Results[i].Failed() {
+			t.Errorf("%s hard-failed: %s", rep.Results[i].Name, rep.Results[i].Error)
+		}
+	}
+	if n := strings.Count(log.String(), "re-measuring serially"); n != 2 {
+		t.Errorf("serial re-measure ran %d times, want 2\nlog:\n%s", n, log.String())
+	}
+}
+
+func TestRunAllShardedCancelledContext(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ws := []Workload{
+		fakeWorkload("shard/x", time.Millisecond),
+		fakeWorkload("shard/y", time.Millisecond),
+	}
+	rep := RunAllSharded(ctx, ws, Options{Repeats: 2}, 2)
+	if len(rep.Results) != 0 {
+		t.Fatalf("cancelled run produced %d results, want 0", len(rep.Results))
+	}
+}

@@ -1,0 +1,24 @@
+package figures
+
+import "ookami/internal/parexec"
+
+// engine is the optional certified simulation engine behind the
+// generators. The zero value (nil) keeps every query on its original
+// direct code path; SetEngine installs memoization (and, when the engine
+// carries a pool, parallel fan-out for the drivers that use it). The
+// engine only accelerates queries whose entry points are in parexec's
+// certified dispatch table, so installed or not, generated figures are
+// bit-identical — the golden tests run both ways.
+//
+// This package is deliberately outside the parsafe-certified set: holding
+// a reference to the (internally synchronized, mutable) engine here keeps
+// the certified kernel and model packages free of shared state.
+var engine *parexec.Engine
+
+// SetEngine installs eng for subsequent generator calls (nil restores the
+// direct paths). Call before generating; the variable is not synchronized
+// against concurrent generators.
+func SetEngine(eng *parexec.Engine) { engine = eng }
+
+// ActiveEngine returns the installed engine (nil when none).
+func ActiveEngine() *parexec.Engine { return engine }

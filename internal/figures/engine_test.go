@@ -1,0 +1,92 @@
+package figures
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ookami/internal/parexec"
+	"ookami/internal/stats"
+	"ookami/internal/testutil"
+)
+
+// The engine contract: installed or not, serial or fanned across a pool,
+// every generated artifact is byte-identical. This is the test the
+// ≥5x wall-time claim leans on — the speedup must be free of output
+// drift, or it is not a perf optimization but a model change.
+
+// generateAll produces every artifact's CSV under the given engine,
+// fanning across its pool when it has one.
+func generateAll(eng *parexec.Engine) map[string]string {
+	old := ActiveEngine()
+	SetEngine(eng)
+	defer SetEngine(old)
+	items := append(All(), Extras()...)
+	tables := make([]*stats.Table, len(items))
+	eng.Map(len(items), func(i int) { tables[i] = items[i].Generate() })
+	out := make(map[string]string, len(items))
+	for i, it := range items {
+		out[it.ID] = tables[i].CSV()
+	}
+	return out
+}
+
+func TestEngineOutputsBitIdentical(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	direct := generateAll(nil)
+
+	serial := parexec.NewSerial()
+	memoized := generateAll(serial)
+	hits, misses := serial.MemoStats()
+	serial.Close()
+	if hits == 0 {
+		t.Errorf("memoized run recorded no cache hits (misses=%d): the engine is not wired in", misses)
+	}
+
+	pooled := parexec.New(4)
+	parallel := generateAll(pooled)
+	pooled.Close()
+
+	for id, want := range direct {
+		if memoized[id] != want {
+			t.Errorf("%s: serial memoized output differs from direct generation", id)
+		}
+		if parallel[id] != want {
+			t.Errorf("%s: parallel output differs from direct generation", id)
+		}
+	}
+}
+
+// TestEngineMatchesCommittedResults diffs engine-generated CSVs against
+// the committed results/ artifacts — the repository-level golden gate
+// that `make benchgate` runs: a parallel or memoized sweep must
+// reproduce the checked-in results byte for byte.
+func TestEngineMatchesCommittedResults(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	resultsDir := filepath.Join("..", "..", "results")
+	if _, err := os.Stat(resultsDir); err != nil {
+		t.Skipf("no committed results directory: %v", err)
+	}
+	eng := parexec.New(4)
+	defer eng.Close()
+	got := generateAll(eng)
+	checked := 0
+	for id, csv := range got {
+		if id == "expstudy" {
+			continue // sampled ULP row; pinned by value tests instead
+		}
+		path := filepath.Join(resultsDir, id+".csv")
+		want, err := os.ReadFile(path)
+		if err != nil {
+			continue // not every artifact is committed
+		}
+		checked++
+		if string(want) != csv {
+			t.Errorf("%s: engine-generated CSV differs from committed %s", id, path)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no committed CSVs matched generated artifacts")
+	}
+	t.Logf("verified %d committed CSV(s) against engine output", checked)
+}

@@ -47,15 +47,19 @@ func scalarIPC(m machine.Machine) float64 {
 // kernels are compiled and scheduled, and log is priced as exp plus one
 // refinement step (vector libraries implement them with the same
 // machinery).
+// Each loop's cycle cost is a certified engine query, so the many
+// ExecFor calls that share a (toolchain, machine) pair — every NPB
+// workload of Figures 3-6 prices the same five loops — compile and
+// schedule them once when an engine is installed. The returned map is
+// freshly built per call either way: ExecParams owns its MathCost.
 func mathCostFor(tc toolchain.Toolchain, m machine.Machine) map[perfmodel.MathFn]float64 {
-	prof, ok := perfmodel.ProfileFor(m.Name)
-	if !ok {
+	if _, ok := perfmodel.ProfileFor(m.Name); !ok {
 		return nil
 	}
 	cost := make(map[perfmodel.MathFn]float64, 6)
 	for _, l := range toolchain.MathLoops {
 		fn, _ := l.MathFn()
-		cost[fn] = tc.Compile(l, m).CyclesPerElement(prof)
+		cost[fn] = engine.LoopCycles(tc, l, m)
 	}
 	cost[perfmodel.FnLog] = cost[perfmodel.FnExp] * 1.15
 	return cost

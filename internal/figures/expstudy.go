@@ -19,13 +19,11 @@ import (
 // plus Intel on Skylake (the paper: GNU ~32, ARM 6, Cray 4.2, Fujitsu 2.1,
 // Intel 1.6).
 func ExpLadder() map[string]float64 {
-	a64, _ := perfmodel.ProfileFor(machine.A64FX.Name)
-	skx, _ := perfmodel.ProfileFor(machine.SkylakeGold6140.Name)
 	out := make(map[string]float64, 5)
 	for _, tc := range toolchain.OnA64FX {
-		out[tc.Name] = tc.Compile(toolchain.LoopExp, machine.A64FX).CyclesPerElement(a64)
+		out[tc.Name] = engine.LoopCycles(tc, toolchain.LoopExp, machine.A64FX)
 	}
-	out[toolchain.Intel.Name] = toolchain.Intel.Compile(toolchain.LoopExp, machine.SkylakeGold6140).CyclesPerElement(skx)
+	out[toolchain.Intel.Name] = engine.LoopCycles(toolchain.Intel, toolchain.LoopExp, machine.SkylakeGold6140)
 	return out
 }
 

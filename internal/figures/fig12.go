@@ -2,7 +2,6 @@ package figures
 
 import (
 	"ookami/internal/machine"
-	"ookami/internal/perfmodel"
 	"ookami/internal/stats"
 	"ookami/internal/toolchain"
 )
@@ -15,11 +14,13 @@ const loopElements = 1 << 20
 // RelativeRuntime computes the Figure 1/2 metric for one loop and
 // toolchain: modeled A64FX runtime divided by the Intel-on-Skylake
 // runtime.
+// Both modeled runtimes go through the engine's certified LoopRuntime
+// query: with no engine installed that is the direct computation; with
+// one, repeated (toolchain, loop, machine) tuples — the Intel/Skylake
+// denominator is shared by every row — come from the memo cache.
 func RelativeRuntime(tc toolchain.Toolchain, l toolchain.Loop) float64 {
-	a64, _ := perfmodel.ProfileFor(machine.A64FX.Name)
-	skx, _ := perfmodel.ProfileFor(machine.SkylakeGold6140.Name)
-	a := tc.Compile(l, machine.A64FX).RuntimeSeconds(a64, loopElements)
-	i := toolchain.Intel.Compile(l, machine.SkylakeGold6140).RuntimeSeconds(skx, loopElements)
+	a := engine.LoopRuntime(tc, l, machine.A64FX, loopElements)
+	i := engine.LoopRuntime(toolchain.Intel, l, machine.SkylakeGold6140, loopElements)
 	return a / i
 }
 

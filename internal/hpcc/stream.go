@@ -9,6 +9,7 @@ import (
 	"ookami/internal/machine"
 	"ookami/internal/omp"
 	"ookami/internal/rng"
+	"ookami/internal/sve"
 )
 
 // wallTime measures the wall-clock duration of fn in seconds. This is
@@ -72,23 +73,17 @@ func RunStream(team *omp.Team, n, reps int) []StreamResult {
 		}),
 		run("scale", 16, func() {
 			team.ForRange(0, n, omp.Static, 0, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					b[i] = scalar * c[i]
-				}
+				sve.ScaleSlices(b[lo:hi], c[lo:hi], scalar)
 			})
 		}),
 		run("add", 24, func() {
 			team.ForRange(0, n, omp.Static, 0, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					c[i] = a[i] + b[i]
-				}
+				sve.AddSlices(c[lo:hi], a[lo:hi], b[lo:hi])
 			})
 		}),
 		run("triad", 24, func() {
 			team.ForRange(0, n, omp.Static, 0, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					a[i] = b[i] + scalar*c[i]
-				}
+				sve.TriadSlices(a[lo:hi], b[lo:hi], scalar, c[lo:hi])
 			})
 		}),
 	}

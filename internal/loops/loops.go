@@ -83,15 +83,14 @@ func SimpleScalar(y, x []float64) {
 }
 
 // SimpleSVE is the vector form: y = x*(3x+2) with FMA, predicated tail.
+// Executed in two whole-vector batch passes (fmla then fmul) — bit-
+// identical to the per-register whilelt loop, without its per-vector
+// call and copy overhead.
 //
 //ookami:pure
 func SimpleSVE(y, x []float64) {
-	for base := 0; base < len(x); base += sve.VL {
-		p := sve.WhileLT(base, len(x))
-		v := sve.Load(x, base, p)
-		t := sve.Fma(p, sve.Dup(2), sve.Dup(3), v) // 2 + 3x
-		sve.Store(y, base, p, sve.Mul(p, v, t))
-	}
+	sve.FMAConstSlices(y, x, 3, 2) // 2 + 3x
+	sve.MulSlices(y, y, x)         // x * (2 + 3x)
 }
 
 // --- predicate: if (x[i] > 0) y[i] = x[i] ---
@@ -105,16 +104,12 @@ func PredicateScalar(y, x []float64) {
 	}
 }
 
-// PredicateSVE replaces the branch with a compare + masked store.
+// PredicateSVE replaces the branch with a compare + masked store, batched
+// over the whole slice.
 //
 //ookami:pure
 func PredicateSVE(y, x []float64) {
-	for base := 0; base < len(x); base += sve.VL {
-		p := sve.WhileLT(base, len(x))
-		v := sve.Load(x, base, p)
-		m := sve.CmpGT(p, v, sve.Dup(0))
-		sve.Store(y, base, m, v)
-	}
+	sve.CopyGTSlices(y, x, 0)
 }
 
 // --- gather / scatter ---
@@ -126,27 +121,14 @@ func GatherScalar(y, x []float64, idx []int64) {
 	}
 }
 
-// GatherSVE uses the vector gather; it also returns the total number of
-// memory requests the A64FX load unit would issue given the 128-byte
-// pairing rule — the microarchitectural quantity behind the paper's
-// short-gather observation.
+// GatherSVE uses the batched vector gather; it also returns the total
+// number of memory requests the A64FX load unit would issue given the
+// 128-byte pairing rule — the microarchitectural quantity behind the
+// paper's short-gather observation.
 //
 //ookami:pure
 func GatherSVE(y, x []float64, idx []int64) (requests int) {
-	var vi sve.I64
-	for base := 0; base < len(y); base += sve.VL {
-		p := sve.WhileLT(base, len(y))
-		for l := 0; l < sve.VL; l++ {
-			if p[l] {
-				vi[l] = idx[base+l]
-			} else {
-				vi[l] = 0
-			}
-		}
-		requests += sve.GatherPairs128(p, vi)
-		sve.Store(y, base, p, sve.Gather(p, x, vi))
-	}
-	return requests
+	return sve.GatherSlices(y, x, idx)
 }
 
 // ScatterScalar: y[index[i]] = x[i].
@@ -156,22 +138,11 @@ func ScatterScalar(y, x []float64, idx []int64) {
 	}
 }
 
-// ScatterSVE uses the vector scatter.
+// ScatterSVE uses the batched vector scatter.
 //
 //ookami:pure
 func ScatterSVE(y, x []float64, idx []int64) {
-	var vi sve.I64
-	for base := 0; base < len(x); base += sve.VL {
-		p := sve.WhileLT(base, len(x))
-		for l := 0; l < sve.VL; l++ {
-			if p[l] {
-				vi[l] = idx[base+l]
-			} else {
-				vi[l] = 0
-			}
-		}
-		sve.Scatter(p, y, vi, sve.Load(x, base, p))
-	}
+	sve.ScatterSlices(y, x, idx)
 }
 
 // --- math-function loops (delegating to the vmath library) ---

@@ -57,8 +57,8 @@ func Optimized(team *omp.Team, chains, steps int, seed uint64) float64 {
 	partial := make([]float64, chains/sve.VL)
 	team.ForRange(0, chains/sve.VL, omp.Static, 0, func(lo, hi int) {
 		var xnew, u, ex, exnew [sve.VL]float64
+		p := sve.AllTrue
 		for blk := lo; blk < hi; blk++ {
-			p := sve.PTrue()
 			// Independent initial states per lane.
 			var x sve.F64
 			for l := 0; l < sve.VL; l++ {

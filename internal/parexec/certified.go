@@ -1,0 +1,56 @@
+package parexec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cert names one certified-pure entry point: the package (repo-relative
+// import path, as the parsafe baseline records it) and the function name
+// in the baseline's Recv.Method / Func notation.
+type Cert struct {
+	Pkg  string
+	Func string
+}
+
+// Dispatch is the pool's dispatch table: every model query the engine is
+// willing to memoize or fan out, mapped to the certified-pure function
+// that computes it. The parsafe firewall (cmd/ookami-vet -parsafe,
+// baseline internal/analysis/baseline/parsafe.json) is the source of
+// truth; TestDispatchCertified cross-checks each entry against the
+// recorded baseline so a query can only be added here after the purity
+// analysis has certified its function. Queries not in this table panic
+// at Engine.Run — the gate that keeps uncertified (potentially
+// state-sharing) code out of the worker pool.
+var Dispatch = map[string]Cert{
+	"toolchain.Compile":          {Pkg: "internal/toolchain", Func: "Toolchain.Compile"},
+	"toolchain.CyclesPerElement": {Pkg: "internal/toolchain", Func: "CompiledLoop.CyclesPerElement"},
+	"toolchain.RuntimeSeconds":   {Pkg: "internal/toolchain", Func: "CompiledLoop.RuntimeSeconds"},
+	"perfmodel.ProfileFor":       {Pkg: "internal/perfmodel", Func: "ProfileFor"},
+	"perfmodel.Schedule":         {Pkg: "internal/perfmodel", Func: "Profile.Schedule"},
+	"perfmodel.CyclesPerElement": {Pkg: "internal/perfmodel", Func: "Profile.CyclesPerElement"},
+	"perfmodel.SecondsFor":       {Pkg: "internal/perfmodel", Func: "Profile.SecondsFor"},
+	"hpcc.ModelStreamTriad":      {Pkg: "internal/hpcc", Func: "ModelStreamTriad"},
+	"hpcc.ModelGUPS":             {Pkg: "internal/hpcc", Func: "ModelGUPS"},
+}
+
+// certify panics unless entry is in the dispatch table. It is called on
+// every Engine.Run, so an uncertified query fails loudly on its first
+// use — in tests and smoke runs, not silently in production sweeps.
+func certify(entry string) {
+	if _, ok := Dispatch[entry]; !ok {
+		panic(fmt.Sprintf("parexec: query %q is not in the certified dispatch table; "+
+			"certify the entry point with the parsafe firewall first", entry))
+	}
+}
+
+// Entries returns the dispatch entry names in sorted order (for tests and
+// diagnostics).
+func Entries() []string {
+	out := make([]string, 0, len(Dispatch))
+	for k := range Dispatch {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

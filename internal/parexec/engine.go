@@ -1,0 +1,111 @@
+package parexec
+
+import (
+	"fmt"
+	"math"
+
+	"ookami/internal/machine"
+	"ookami/internal/perfmodel"
+	"ookami/internal/toolchain"
+)
+
+// Engine couples the worker pool with the singleflight memo and exposes
+// the typed, certification-gated model queries the drivers use. A nil
+// *Engine is valid everywhere and means "serial, uncached": each query
+// computes directly, which keeps the default ookami-bench/ookami-figures
+// paths byte-for-byte the code they always ran.
+type Engine struct {
+	pool *Pool
+	memo Memo
+}
+
+// New returns an engine backed by a pool of n workers (n <= 0 selects
+// GOMAXPROCS). Memoization is always on for a non-nil engine.
+func New(n int) *Engine {
+	return &Engine{pool: NewPool(n)}
+}
+
+// NewSerial returns an engine with memoization but no worker goroutines:
+// queries run inline, repeated queries hit the cache. This is the engine
+// the drivers use when -parallel is 1 — the wall-time win on single-CPU
+// hosts comes from here.
+func NewSerial() *Engine {
+	return &Engine{}
+}
+
+// Parallel reports whether the engine fans work across workers.
+func (e *Engine) Parallel() bool { return e != nil && e.pool != nil }
+
+// Workers reports the pool size (0 when serial or nil).
+func (e *Engine) Workers() int {
+	if e == nil {
+		return 0
+	}
+	return e.pool.Workers()
+}
+
+// Close joins the pool's workers; safe on nil and serial engines.
+func (e *Engine) Close() {
+	if e != nil {
+		e.pool.Close()
+	}
+}
+
+// MemoStats reports the memo cache's hits and misses.
+func (e *Engine) MemoStats() (hits, misses int) {
+	if e == nil {
+		return 0, 0
+	}
+	return e.memo.Stats()
+}
+
+// Map fans fn(0)..fn(n-1) across the pool (inline when serial/nil).
+func (e *Engine) Map(n int, fn func(i int)) {
+	if e == nil {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	e.pool.Map(n, fn)
+}
+
+// Run executes one certified model query: entry must name a dispatch-table
+// entry (panics otherwise — the purity gate), key identifies the full
+// input tuple, and fn computes the value on a cache miss. On the nil
+// engine fn runs directly with no gate bypass: certify still fires.
+func (e *Engine) Run(entry, key string, fn func() any) any {
+	certify(entry)
+	if e == nil {
+		return fn()
+	}
+	return e.memo.Do(entry+"|"+key, fn)
+}
+
+// LoopCycles returns the modeled cycles/element of loop l compiled by tc
+// for machine m — the repo's single most repeated simulation query
+// (every figure and math-cost derivation re-runs it). The memo key is the
+// full query tuple: toolchain name and version, loop id, machine name.
+// NaN when the machine has no instruction-level profile.
+func (e *Engine) LoopCycles(tc toolchain.Toolchain, l toolchain.Loop, m machine.Machine) float64 {
+	key := fmt.Sprintf("%s|%s|%d|%s", tc.Name, tc.Version, int(l), m.Name)
+	v := e.Run("toolchain.CyclesPerElement", key, func() any {
+		prof, ok := perfmodel.ProfileFor(m.Name)
+		if !ok {
+			return math.NaN()
+		}
+		return tc.Compile(l, m).CyclesPerElement(prof)
+	})
+	return v.(float64)
+}
+
+// LoopRuntime is the modeled runtime of the compiled loop over n elements
+// on m's profile — LoopCycles scaled by the certified SecondsFor.
+func (e *Engine) LoopRuntime(tc toolchain.Toolchain, l toolchain.Loop, m machine.Machine, n int) float64 {
+	prof, ok := perfmodel.ProfileFor(m.Name)
+	if !ok {
+		return math.NaN()
+	}
+	certify("toolchain.RuntimeSeconds")
+	return prof.SecondsFor(e.LoopCycles(tc, l, m), n)
+}

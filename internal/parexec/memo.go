@@ -1,0 +1,61 @@
+package parexec
+
+import "sync"
+
+// Memo is a singleflight result cache: concurrent callers of the same key
+// coalesce onto one execution, later callers get the cached value. Keys
+// must capture the *entire* input tuple of the computation — the engine's
+// typed helpers build them from (entry, toolchain name+version, loop,
+// machine, sizes) so two queries share a slot only when the certified-pure
+// function would return identical results.
+type Memo struct {
+	mu           sync.Mutex
+	m            map[string]*memoEntry
+	hits, misses int
+}
+
+type memoEntry struct {
+	done chan struct{}
+	val  any
+}
+
+// Do returns the memoized value for key, computing it with fn on first
+// use. If another goroutine is already computing key, Do waits for that
+// result instead of duplicating the work. A panicking fn is removed from
+// the cache (waiters see the zero value) and the panic is re-raised.
+func (m *Memo) Do(key string, fn func() any) any {
+	m.mu.Lock()
+	if m.m == nil {
+		m.m = make(map[string]*memoEntry)
+	}
+	if e, ok := m.m[key]; ok {
+		m.hits++
+		m.mu.Unlock()
+		<-e.done
+		return e.val
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	m.m[key] = e
+	m.misses++
+	m.mu.Unlock()
+
+	defer func() {
+		if r := recover(); r != nil {
+			m.mu.Lock()
+			delete(m.m, key)
+			m.mu.Unlock()
+			close(e.done)
+			panic(r)
+		}
+	}()
+	e.val = fn()
+	close(e.done)
+	return e.val
+}
+
+// Stats reports cache hits and misses so far.
+func (m *Memo) Stats() (hits, misses int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}

@@ -1,0 +1,211 @@
+package parexec
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ookami/internal/machine"
+	"ookami/internal/perfmodel"
+	"ookami/internal/testutil"
+	"ookami/internal/toolchain"
+)
+
+// TestDispatchCertified is the purity gate's enforcement test: every entry
+// of the pool's dispatch table must name a function the interprocedural
+// purity analysis certified, as recorded in the parsafe baseline. Adding a
+// query to Dispatch without first certifying its entry point fails here.
+func TestDispatchCertified(t *testing.T) {
+	raw, err := os.ReadFile("../analysis/baseline/parsafe.json")
+	if err != nil {
+		t.Fatalf("reading parsafe baseline: %v", err)
+	}
+	var baseline struct {
+		Entries []struct {
+			Package string `json:"package"`
+			Func    string `json:"func"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatalf("parsing parsafe baseline: %v", err)
+	}
+	certified := make(map[Cert]bool, len(baseline.Entries))
+	for _, e := range baseline.Entries {
+		certified[Cert{Pkg: e.Package, Func: e.Func}] = true
+	}
+	for _, name := range Entries() {
+		c := Dispatch[name]
+		if !certified[c] {
+			t.Errorf("dispatch entry %q -> %s.%s is not certified in the parsafe baseline",
+				name, c.Pkg, c.Func)
+		}
+	}
+}
+
+func TestCertifyPanicsOnUnknownEntry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run with an uncertified entry did not panic")
+		}
+	}()
+	e := NewSerial()
+	e.Run("bench.RunAll", "x", func() any { return nil })
+}
+
+func TestPoolMapCoversAllIndices(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	p := NewPool(4)
+	defer p.Close()
+	const n = 100
+	got := make([]int32, n)
+	p.Map(n, func(i int) { atomic.AddInt32(&got[i], 1) })
+	for i, v := range got {
+		if v != 1 {
+			t.Fatalf("index %d executed %d times", i, v)
+		}
+	}
+}
+
+func TestPoolCloseIdempotentAndJoins(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	p := NewPool(3)
+	var ran int32
+	p.Submit(func() { atomic.AddInt32(&ran, 1) })
+	p.Close()
+	p.Close() // second close must not panic
+	if ran != 1 {
+		t.Fatalf("submitted task ran %d times", ran)
+	}
+}
+
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	ran := 0
+	p.Submit(func() { ran++ })
+	p.Map(3, func(int) { ran++ })
+	p.Close()
+	if ran != 4 || p.Workers() != 0 {
+		t.Fatalf("nil pool: ran=%d workers=%d", ran, p.Workers())
+	}
+}
+
+func TestMemoSingleflight(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	var m Memo
+	var calls int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	const callers = 16
+	results := make([]any, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i] = m.Do("k", func() any {
+				atomic.AddInt32(&calls, 1)
+				return 42
+			})
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("fn executed %d times, want 1", calls)
+	}
+	for i, r := range results {
+		if r != 42 {
+			t.Fatalf("caller %d got %v", i, r)
+		}
+	}
+	hits, misses := m.Stats()
+	if misses != 1 || hits != callers-1 {
+		t.Fatalf("stats hits=%d misses=%d, want %d/1", hits, misses, callers-1)
+	}
+}
+
+func TestMemoPanicDoesNotPoison(t *testing.T) {
+	var m Memo
+	func() {
+		defer func() { recover() }()
+		m.Do("k", func() any { panic("boom") })
+	}()
+	// The failed computation must have been evicted so a retry runs fn.
+	v := m.Do("k", func() any { return 7 })
+	if v != 7 {
+		t.Fatalf("retry after panic got %v", v)
+	}
+}
+
+// TestEngineMatchesDirect pins the memoized query to the direct
+// computation for every (toolchain, loop) pair on both machines, serial
+// and parallel — the bit-identical guarantee the golden CSV test relies
+// on at the sweep level.
+func TestEngineMatchesDirect(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	type q struct {
+		tc toolchain.Toolchain
+		l  toolchain.Loop
+		m  machine.Machine
+	}
+	var qs []q
+	for _, tc := range toolchain.OnA64FX {
+		for _, l := range append(append([]toolchain.Loop{}, toolchain.SimpleLoops...), toolchain.MathLoops...) {
+			qs = append(qs, q{tc, l, machine.A64FX})
+		}
+	}
+	for _, l := range toolchain.SimpleLoops {
+		qs = append(qs, q{toolchain.Intel, l, machine.SkylakeGold6140})
+	}
+	direct := func(x q) float64 {
+		prof, ok := perfmodel.ProfileFor(x.m.Name)
+		if !ok {
+			return math.NaN()
+		}
+		return x.tc.Compile(x.l, x.m).CyclesPerElement(prof)
+	}
+	for _, eng := range []*Engine{nil, NewSerial(), New(4)} {
+		got := make([]float64, len(qs))
+		eng.Map(len(qs), func(i int) { got[i] = eng.LoopCycles(qs[i].tc, qs[i].l, qs[i].m) })
+		for i, x := range qs {
+			want := direct(x)
+			if math.Float64bits(got[i]) != math.Float64bits(want) {
+				t.Errorf("engine(workers=%d) %s/%s on %s: got %v want %v",
+					eng.Workers(), x.tc.Name, x.l, x.m.Name, got[i], want)
+			}
+		}
+		eng.Close()
+	}
+}
+
+func TestEngineMemoHits(t *testing.T) {
+	e := NewSerial()
+	first := e.LoopCycles(toolchain.Fujitsu, toolchain.LoopSimple, machine.A64FX)
+	second := e.LoopCycles(toolchain.Fujitsu, toolchain.LoopSimple, machine.A64FX)
+	if first != second {
+		t.Fatalf("memoized value changed: %v then %v", first, second)
+	}
+	hits, misses := e.MemoStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestLoopRuntimeMatchesCompiled(t *testing.T) {
+	e := NewSerial()
+	defer e.Close()
+	const n = 1 << 20
+	prof, _ := perfmodel.ProfileFor(machine.A64FX.Name)
+	for _, tc := range toolchain.OnA64FX {
+		for _, l := range toolchain.SimpleLoops {
+			want := tc.Compile(l, machine.A64FX).RuntimeSeconds(prof, n)
+			got := e.LoopRuntime(tc, l, machine.A64FX, n)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("%s/%s: runtime %v != direct %v", tc.Name, l, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package parexec is the certified parallel simulation engine: a bounded
+// worker pool plus a singleflight memo cache that fans independent
+// (kernel, config) model queries across goroutines. The pool only
+// dispatches entry points that the interprocedural purity analysis has
+// certified pure (internal/analysis/baseline/parsafe.json) — the dispatch
+// table in certified.go names them, and a test cross-checks every entry
+// against the recorded baseline. That gate is what makes the parallel
+// results trustworthy: a query that could touch shared mutable state
+// never enters the pool, so parallel and serial sweeps are bit-identical.
+package parexec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-size worker pool. A nil *Pool is valid and means
+// "serial": Map and Submit run their work inline on the caller's
+// goroutine, so callers need no branching between the two modes.
+type Pool struct {
+	tasks   chan func()
+	wg      sync.WaitGroup
+	workers int
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts a pool of n workers; n <= 0 selects GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{tasks: make(chan func(), 2*n), workers: n}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers reports the pool size (0 for the nil serial pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 0
+	}
+	return p.workers
+}
+
+// Submit enqueues fn, blocking while the queue is full. On the nil pool
+// it simply runs fn inline.
+func (p *Pool) Submit(fn func()) {
+	if p == nil {
+		fn()
+		return
+	}
+	p.tasks <- fn
+}
+
+// Map runs fn(0) .. fn(n-1) across the pool and returns when all have
+// completed. Items run in arbitrary order; callers index into
+// preallocated result slices, which keeps output ordering deterministic
+// regardless of scheduling.
+func (p *Pool) Map(n int, fn func(i int)) {
+	if p == nil {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.tasks <- func() {
+			defer wg.Done()
+			fn(i)
+		}
+	}
+	wg.Wait()
+}
+
+// Close shuts the queue and joins every worker; it is idempotent and
+// a no-op on the nil pool. After Close returns no pool goroutine is
+// running — the property the leak tests assert.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

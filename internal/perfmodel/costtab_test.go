@@ -1,0 +1,90 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"ookami/internal/machine"
+)
+
+// The flat cost table is a pure acceleration of the Costs map; these tests
+// pin the two representations (and the scheduler on top of them) together.
+
+func TestCostTableMatchesMap(t *testing.T) {
+	for _, base := range []Profile{A64FXProfile, SkylakeProfile} {
+		p := base // copy; base tables have no costTab
+		tab := p.buildCostTable()
+		for o := 0; o < numOps; o++ {
+			op := Op(o)
+			want := Cost{Latency: 1, Occupancy: 1}
+			if c, ok := p.Costs[op]; ok {
+				want = c
+			}
+			if tab[o] != want {
+				t.Errorf("%s: table cost of %s = %+v, map says %+v", p.Name, op, tab[o], want)
+			}
+			if got := p.CostOf(op); got != want {
+				t.Errorf("%s: CostOf(%s) without table = %+v, want %+v", p.Name, op, got, want)
+			}
+		}
+		p.costTab = tab
+		for o := 0; o < numOps; o++ {
+			op := Op(o)
+			if p.CostOf(op) != tab[o] {
+				t.Errorf("%s: CostOf(%s) with table disagrees with table", p.Name, op)
+			}
+		}
+	}
+}
+
+func TestPipeTableMatchesSwitch(t *testing.T) {
+	for o := 0; o < numOps; o++ {
+		op := Op(o)
+		var want pipeKind
+		switch op {
+		case LOAD, GATHER, GATHERW:
+			want = pipeLoad
+		case STORE, PSTORE, SCATTER, SCATTERW:
+			want = pipeStore
+		case INT, PRED, BRANCH:
+			want = pipeInt
+		default:
+			want = pipeFP
+		}
+		if pipeTab[o] != want {
+			t.Errorf("pipeTab[%s] = %d, want %d", op, pipeTab[o], want)
+		}
+	}
+}
+
+// TestScheduleTableEquivalence proves a table-less profile literal and the
+// ProfileFor-built (table-carrying) profile schedule identically.
+func TestScheduleTableEquivalence(t *testing.T) {
+	body := Body{
+		I(LOAD),
+		I(LOAD),
+		I(FMA, 0, 1),
+		I(FSQRT, 2),
+		I(STORE, 3),
+		I(INT),
+		I(PRED, 5),
+		I(BRANCH, 6),
+	}
+	withTab, ok := ProfileFor(machine.A64FX.Name)
+	if !ok {
+		t.Fatal("no A64FX profile")
+	}
+	if withTab.costTab == nil {
+		t.Fatal("ProfileFor did not precompute the cost table")
+	}
+	noTab := A64FXProfile // literal copy, costTab nil
+	for _, iters := range []int{1, 7, 64} {
+		a := withTab.Schedule(body, iters)
+		b := noTab.Schedule(body, iters)
+		if a != b {
+			t.Errorf("iters=%d: table %d cycles, map %d cycles", iters, a, b)
+		}
+	}
+	if noTab.costTab != nil {
+		t.Error("Schedule cached a table onto the profile; must stay run-local")
+	}
+}

@@ -63,6 +63,11 @@ func (o Op) String() string {
 	return "OP?"
 }
 
+// numOps is the number of instruction classes; BRANCH is the last one.
+// The scheduler's per-issue lookups index flat [numOps] tables rather
+// than re-deciding a switch or hashing a map on every instruction.
+const numOps = int(BRANCH) + 1
+
 // pipeKind is the execution resource an Op issues to.
 type pipeKind int
 
@@ -71,21 +76,34 @@ const (
 	pipeLoad
 	pipeStore
 	pipeInt
+	numPipeKinds
 )
 
-func (o Op) pipe() pipeKind {
-	switch o {
-	case LOAD, GATHER, GATHERW:
-		return pipeLoad
-	case STORE, PSTORE, SCATTER, SCATTERW:
-		return pipeStore
-	case INT, PRED, BRANCH:
-		return pipeInt
-	case CALL:
-		return pipeFP
-	default:
-		return pipeFP
+// pipeTab maps every Op to its pipe. Built once at init from the same
+// classification pipe() used to encode as a switch; the scheduler's issue
+// loop indexes this array directly.
+var pipeTab = func() [numOps]pipeKind {
+	var t [numOps]pipeKind
+	for o := Op(0); int(o) < numOps; o++ {
+		switch o {
+		case LOAD, GATHER, GATHERW:
+			t[o] = pipeLoad
+		case STORE, PSTORE, SCATTER, SCATTERW:
+			t[o] = pipeStore
+		case INT, PRED, BRANCH:
+			t[o] = pipeInt
+		default: // all FP arithmetic classes and CALL
+			t[o] = pipeFP
+		}
 	}
+	return t
+}()
+
+func (o Op) pipe() pipeKind {
+	if int(o) < numOps {
+		return pipeTab[o]
+	}
+	return pipeFP
 }
 
 // Instr is one instruction of a loop body. Deps are indices of earlier

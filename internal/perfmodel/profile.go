@@ -24,6 +24,30 @@ type Profile struct {
 	IssueWidth int // total instructions issued per cycle
 	Window     int // reorder-window size (in-flight instruction cap)
 	Costs      map[Op]Cost
+
+	// costTab is the flat per-class cost table derived from Costs, indexed
+	// by Op. ProfileFor builds it once per returned profile; the scheduler
+	// hot loops index it instead of hashing the Costs map on every issue.
+	// A nil table is always valid — readers fall back to building a local
+	// one — so hand-constructed Profile literals keep working unchanged.
+	costTab *[numOps]Cost
+}
+
+// buildCostTable flattens the Costs map into an array with the generic
+// single-cycle fallback filled in for unlisted classes. It never mutates
+// the profile: callers decide whether to cache the result.
+//
+//ookami:pure builds a fresh table
+func (p *Profile) buildCostTable() *[numOps]Cost {
+	var tab [numOps]Cost
+	for o := 0; o < numOps; o++ {
+		if c, ok := p.Costs[Op(o)]; ok {
+			tab[o] = c
+		} else {
+			tab[o] = Cost{Latency: 1, Occupancy: 1}
+		}
+	}
+	return &tab
 }
 
 // CostOf returns the cost of op, falling back to a generic single-cycle
@@ -31,6 +55,9 @@ type Profile struct {
 //
 //ookami:pure read-only table lookup
 func (p *Profile) CostOf(op Op) Cost {
+	if p.costTab != nil && int(op) < numOps {
+		return p.costTab[op]
+	}
 	if c, ok := p.Costs[op]; ok {
 		return c
 	}
@@ -144,9 +171,11 @@ func ProfileFor(name string) (*Profile, bool) {
 	switch name {
 	case machine.A64FX.Name:
 		p := A64FXProfile
+		p.costTab = p.buildCostTable()
 		return &p, true
 	case machine.SkylakeGold6140.Name, machine.SkylakeGold6130.Name, machine.StampedeSKX.Name:
 		p := SkylakeProfile
+		p.costTab = p.buildCostTable()
 		return &p, true
 	}
 	return nil, false

@@ -56,13 +56,19 @@ func (p *Profile) Schedule(body Body, iters int) int {
 		}
 	}
 
-	// Pipe slots: busyUntil per slot per kind.
-	busy := map[pipeKind][]int{
-		pipeFP:    make([]int, p.FPPipes),
-		pipeLoad:  make([]int, p.LoadPipes),
-		pipeStore: make([]int, p.StorePipes),
-		pipeInt:   make([]int, p.IntPipes),
+	// Per-class costs come from the flat table; a profile built outside
+	// ProfileFor gets a run-local one (never cached back — Schedule stays
+	// free of shared-state writes).
+	costs := p.costTab
+	if costs == nil {
+		costs = p.buildCostTable()
 	}
+	// Pipe slots: busyUntil per slot per kind.
+	var busy [numPipeKinds][]int
+	busy[pipeFP] = make([]int, p.FPPipes)
+	busy[pipeLoad] = make([]int, p.LoadPipes)
+	busy[pipeStore] = make([]int, p.StorePipes)
+	busy[pipeInt] = make([]int, p.IntPipes)
 
 	head := 0 // oldest in-flight instruction
 	tail := 0 // next instruction to enter the window
@@ -95,7 +101,7 @@ func (p *Profile) Schedule(body Body, iters int) int {
 			if !ready {
 				continue
 			}
-			kind := ins.op.pipe()
+			kind := pipeTab[ins.op]
 			slots := busy[kind]
 			slot := -1
 			if ins.op == FDIV || ins.op == FSQRT {
@@ -117,7 +123,7 @@ func (p *Profile) Schedule(body Body, iters int) int {
 			if slot < 0 {
 				continue
 			}
-			c := p.CostOf(ins.op)
+			c := costs[ins.op]
 			slots[slot] = cycle + c.Occupancy
 			ins.issued = true
 			ins.done = cycle + c.Latency

@@ -57,12 +57,15 @@ func (p *Profile) ScheduleTrace(body Body, iters int) ([]IssueEvent, Utilization
 			instrs[off+i] = si
 		}
 	}
-	busy := map[pipeKind][]int{
-		pipeFP:    make([]int, p.FPPipes),
-		pipeLoad:  make([]int, p.LoadPipes),
-		pipeStore: make([]int, p.StorePipes),
-		pipeInt:   make([]int, p.IntPipes),
+	costs := p.costTab
+	if costs == nil {
+		costs = p.buildCostTable()
 	}
+	var busy [numPipeKinds][]int
+	busy[pipeFP] = make([]int, p.FPPipes)
+	busy[pipeLoad] = make([]int, p.LoadPipes)
+	busy[pipeStore] = make([]int, p.StorePipes)
+	busy[pipeInt] = make([]int, p.IntPipes)
 	events := make([]IssueEvent, total)
 	var util Utilization
 
@@ -92,7 +95,7 @@ func (p *Profile) ScheduleTrace(body Body, iters int) ([]IssueEvent, Utilization
 			if !ready {
 				continue
 			}
-			kind := ins.op.pipe()
+			kind := pipeTab[ins.op]
 			slots := busy[kind]
 			slot := -1
 			if ins.op == FDIV || ins.op == FSQRT {
@@ -113,7 +116,7 @@ func (p *Profile) ScheduleTrace(body Body, iters int) ([]IssueEvent, Utilization
 			if slot < 0 {
 				continue
 			}
-			c := p.CostOf(ins.op)
+			c := costs[ins.op]
 			slots[slot] = cycle + c.Occupancy
 			ins.issued = true
 			ins.done = cycle + c.Latency

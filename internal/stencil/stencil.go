@@ -64,7 +64,10 @@ func Seven7SVE(out, g *Grid3, c0, c1 float64) {
 		for j := 0; j < n; j++ {
 			row := g.Idx(i, j, 0)
 			for k := 0; k < n; k += sve.VL {
-				p := sve.WhileLT(k, n)
+				p := sve.AllTrue
+				if k+sve.VL > n {
+					p = sve.WhileLT(k, n)
+				}
 				c := sve.Load(g.U, row+k, p)
 				sum := sve.Add(p, sve.Load(g.U, row+k-1, p), sve.Load(g.U, row+k+1, p))
 				sum = sve.Add(p, sum, sve.Load(g.U, g.Idx(i-1, j, k), p))
@@ -89,7 +92,10 @@ func Seven7Parallel(team *omp.Team, out, g *Grid3, c0, c1 float64) {
 			for j := 0; j < n; j++ {
 				row := g.Idx(i, j, 0)
 				for k := 0; k < n; k += sve.VL {
-					p := sve.WhileLT(k, n)
+					p := sve.AllTrue
+					if k+sve.VL > n {
+						p = sve.WhileLT(k, n)
+					}
 					c := sve.Load(g.U, row+k, p)
 					sum := sve.Add(p, sve.Load(g.U, row+k-1, p), sve.Load(g.U, row+k+1, p))
 					sum = sve.Add(p, sum, sve.Load(g.U, g.Idx(i-1, j, k), p))

@@ -1,0 +1,300 @@
+package sve
+
+import "math"
+
+// Whole-vector batch execution. The per-register API (Load/Add/Store on
+// one 8-lane F64 at a time) is faithful to how SVE code is written, but
+// as an *emulation strategy* it pays a function call and an array copy
+// per vector per operation — the simulator, not the model, becomes the
+// bottleneck of large sweeps. The batch operations below execute one
+// SVE operation over an entire preallocated slice in a single call:
+// semantically the unrolling of the canonical whilelt loop, bit-identical
+// to the per-register composition lane for lane (the batch_test fuzz
+// harness proves it), with no per-lane copies, no per-op call overhead
+// and bounds checks hoisted by re-slicing.
+//
+// Masked variants take a []bool predicate of the destination's length —
+// the slice-level image of a predicate register — and leave inactive
+// elements untouched, exactly as a merging predicated op leaves inactive
+// lanes of its accumulator.
+
+// AllTrue is the precomputed all-true predicate. PTrue() is cheap but
+// not free; hot loops that need an explicit all-true predicate register
+// should use this package-level copy instead of rebuilding one per
+// iteration (predicates are values, so callers cannot corrupt it).
+var AllTrue = PTrue()
+
+// eq panics unless the operand slices match the destination's length;
+// the re-slice also lets the compiler drop bounds checks in the batch
+// loops below.
+//
+//ookami:cold error path; inlined length hints stay in the hot body
+func eq(n int, xs ...[]float64) {
+	for _, x := range xs {
+		if len(x) != n {
+			panic("sve: batch operand length mismatch")
+		}
+	}
+}
+
+// AddSlices computes dst[i] = a[i] + b[i] over the whole slice — the
+// batch form of the Load/Add/Store whilelt loop (fadd z.d over n lanes).
+//
+//ookami:hot
+//ookami:pure writes only the caller-owned destination slice
+func AddSlices(dst, a, b []float64) {
+	eq(len(dst), a, b)
+	a = a[:len(dst)]
+	b = b[:len(a)]
+	for i := range a {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// SubSlices computes dst[i] = a[i] - b[i].
+//
+//ookami:hot
+//ookami:pure writes only the caller-owned destination slice
+func SubSlices(dst, a, b []float64) {
+	eq(len(dst), a, b)
+	a = a[:len(dst)]
+	b = b[:len(a)]
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// MulSlices computes dst[i] = a[i] * b[i]. dst may alias a or b.
+//
+//ookami:hot
+//ookami:pure writes only the caller-owned destination slice
+func MulSlices(dst, a, b []float64) {
+	eq(len(dst), a, b)
+	a = a[:len(dst)]
+	b = b[:len(a)]
+	for i := range a {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// DivSlices computes dst[i] = a[i] / b[i] (the blocking fdiv, batched;
+// its cost story lives in the performance model, not here).
+//
+//ookami:hot
+//ookami:pure writes only the caller-owned destination slice
+func DivSlices(dst, a, b []float64) {
+	eq(len(dst), a, b)
+	a = a[:len(dst)]
+	b = b[:len(a)]
+	for i := range a {
+		dst[i] = a[i] / b[i]
+	}
+}
+
+// FMASlices computes dst[i] = fma(a[i], b[i], acc[i]) — the batch fmla.
+// dst may alias acc (the in-place accumulator idiom).
+//
+//ookami:hot
+//ookami:pure writes only the caller-owned destination slice
+func FMASlices(dst, acc, a, b []float64) {
+	eq(len(dst), acc, a, b)
+	acc = acc[:len(dst)]
+	a = a[:len(acc)]
+	b = b[:len(a)]
+	for i := range a {
+		dst[i] = math.FMA(a[i], b[i], acc[i])
+	}
+}
+
+// FMAConstSlices computes dst[i] = fma(m, x[i], c): a broadcast
+// multiplier and addend fused against a vector, the shape of the loop
+// suite's polynomial steps. dst may alias x.
+//
+//ookami:hot
+//ookami:pure writes only the caller-owned destination slice
+func FMAConstSlices(dst, x []float64, m, c float64) {
+	eq(len(dst), x)
+	x = x[:len(dst)]
+	for i := range x {
+		dst[i] = math.FMA(m, x[i], c)
+	}
+}
+
+// TriadSlices computes dst[i] = a[i] + s*b[i] with separate multiply and
+// add (no FMA contraction), matching the STREAM triad's scalar form
+// bit for bit. dst may alias a or b.
+//
+//ookami:hot
+//ookami:pure writes only the caller-owned destination slice
+func TriadSlices(dst, a []float64, s float64, b []float64) {
+	eq(len(dst), a, b)
+	a = a[:len(dst)]
+	b = b[:len(a)]
+	for i := range a {
+		dst[i] = a[i] + s*b[i]
+	}
+}
+
+// ScaleSlices computes dst[i] = s * x[i] (fmul by a broadcast scalar).
+// dst may alias x.
+//
+//ookami:hot
+//ookami:pure writes only the caller-owned destination slice
+func ScaleSlices(dst, x []float64, s float64) {
+	eq(len(dst), x)
+	x = x[:len(dst)]
+	for i := range x {
+		dst[i] = s * x[i]
+	}
+}
+
+// RecipSlices computes dst[i] = 1 / x[i], the batch form of the
+// Div(p, Dup(1), x) loop.
+//
+//ookami:hot
+//ookami:pure writes only the caller-owned destination slice
+func RecipSlices(dst, x []float64) {
+	eq(len(dst), x)
+	x = x[:len(dst)]
+	for i := range x {
+		dst[i] = 1 / x[i]
+	}
+}
+
+// SqrtSlices computes dst[i] = sqrt(x[i]) — the batched blocking fsqrt.
+//
+//ookami:hot
+//ookami:pure writes only the caller-owned destination slice
+func SqrtSlices(dst, x []float64) {
+	eq(len(dst), x)
+	x = x[:len(dst)]
+	for i := range x {
+		dst[i] = math.Sqrt(x[i])
+	}
+}
+
+// CopyGTSlices performs the predicate loop in one call: dst[i] = src[i]
+// wherever src[i] > c, other elements untouched (compare + masked store).
+//
+//ookami:hot
+//ookami:pure writes only the caller-owned destination slice
+func CopyGTSlices(dst, src []float64, c float64) {
+	eq(len(dst), src)
+	src = src[:len(dst)]
+	for i := range src {
+		if src[i] > c {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// AddSlicesMasked is AddSlices under a predicate: dst[i] = a[i] + b[i]
+// where mask[i], untouched elsewhere (merging semantics, as Add leaves
+// inactive lanes of its first operand).
+//
+//ookami:hot
+//ookami:pure writes only the caller-owned destination slice
+func AddSlicesMasked(dst, a, b []float64, mask []bool) {
+	eq(len(dst), a, b)
+	if len(mask) != len(dst) {
+		panic("sve: batch mask length mismatch")
+	}
+	a = a[:len(dst)]
+	b = b[:len(a)]
+	mask = mask[:len(a)]
+	for i := range a {
+		if mask[i] {
+			dst[i] = a[i] + b[i]
+		}
+	}
+}
+
+// FMASlicesMasked is FMASlices under a predicate.
+//
+//ookami:hot
+//ookami:pure writes only the caller-owned destination slice
+func FMASlicesMasked(dst, acc, a, b []float64, mask []bool) {
+	eq(len(dst), acc, a, b)
+	if len(mask) != len(dst) {
+		panic("sve: batch mask length mismatch")
+	}
+	acc = acc[:len(dst)]
+	a = a[:len(acc)]
+	b = b[:len(a)]
+	mask = mask[:len(a)]
+	for i := range a {
+		if mask[i] {
+			dst[i] = math.FMA(a[i], b[i], acc[i])
+		}
+	}
+}
+
+// GatherSlices computes dst[i] = src[idx[i]] over the whole slice and
+// returns the number of memory requests the A64FX load unit would issue
+// under the 128-byte pairing rule — identical, pair for pair, to driving
+// GatherPairs128 + Gather one register at a time (lanes are processed in
+// consecutive even/odd pairs; VL is even, so register boundaries never
+// split a pair).
+//
+//ookami:hot
+//ookami:pure writes only the caller-owned destination slice
+func GatherSlices(dst, src []float64, idx []int64) (requests int) {
+	const window = 128 / 8 // elements per 128-byte window
+	if len(idx) != len(dst) {
+		panic("sve: batch index length mismatch")
+	}
+	idx = idx[:len(dst)]
+	for i := range idx {
+		dst[i] = src[idx[i]]
+	}
+	n := len(idx)
+	for i := 0; i+1 < n; i += 2 {
+		if idx[i]/window == idx[i+1]/window {
+			requests++ // combined
+		} else {
+			requests += 2
+		}
+	}
+	if n%2 == 1 {
+		requests++ // odd tail lane pairs with an inactive lane
+	}
+	return requests
+}
+
+// ScatterSlices computes dst[idx[i]] = src[i] in ascending lane order,
+// so duplicate indices resolve with the higher lane winning — the
+// architectural scatter ordering, batched.
+//
+//ookami:hot
+//ookami:pure writes only the caller-owned destination slice
+func ScatterSlices(dst, src []float64, idx []int64) {
+	if len(idx) != len(src) {
+		panic("sve: batch index length mismatch")
+	}
+	idx = idx[:len(src)]
+	for i := range idx {
+		dst[idx[i]] = src[i]
+	}
+}
+
+// ButterflyC128 executes one FFT butterfly stage block over paired
+// slices: u[k], v[k] = u[k] + tw[k]*v[k], u[k] - tw[k]*v[k]. Complex
+// multiply/add on emulated 512-bit registers is what SVE's FCMLA pairs
+// do; batching the whole block removes the per-element index arithmetic
+// and bounds checks from the transform's innermost loop.
+//
+//ookami:hot
+//ookami:pure writes only the caller-owned u and v slices
+func ButterflyC128(u, v, tw []complex128) {
+	if len(v) != len(u) || len(tw) != len(u) {
+		panic("sve: butterfly operand length mismatch")
+	}
+	v = v[:len(u)]
+	tw = tw[:len(u)]
+	for k := range u {
+		a := u[k]
+		b := v[k] * tw[k]
+		u[k] = a + b
+		v[k] = a - b
+	}
+}

@@ -1,0 +1,496 @@
+package sve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Per-register reference composition: each batch op must be bit-identical
+// to driving the existing one-register-at-a-time API over the same data
+// with whilelt predication. These references ARE that composition.
+
+func refAddSlices(dst, a, b []float64) {
+	for base := 0; base < len(dst); base += VL {
+		p := WhileLT(base, len(dst))
+		Store(dst, base, p, Add(p, Load(a, base, p), Load(b, base, p)))
+	}
+}
+
+func refFMASlices(dst, acc, a, b []float64) {
+	for base := 0; base < len(dst); base += VL {
+		p := WhileLT(base, len(dst))
+		Store(dst, base, p, Fma(p, Load(acc, base, p), Load(a, base, p), Load(b, base, p)))
+	}
+}
+
+func refCopyGT(dst, src []float64, c float64) {
+	for base := 0; base < len(dst); base += VL {
+		p := WhileLT(base, len(dst))
+		v := Load(src, base, p)
+		Store(dst, base, CmpGT(p, v, Dup(c)), v)
+	}
+}
+
+func refGatherSlices(dst, src []float64, idx []int64) (requests int) {
+	var vi I64
+	for base := 0; base < len(dst); base += VL {
+		p := WhileLT(base, len(dst))
+		for l := 0; l < VL; l++ {
+			if p[l] {
+				vi[l] = idx[base+l]
+			} else {
+				vi[l] = 0
+			}
+		}
+		requests += GatherPairs128(p, vi)
+		Store(dst, base, p, Gather(p, src, vi))
+	}
+	return requests
+}
+
+func refScatterSlices(dst, src []float64, idx []int64) {
+	var vi I64
+	for base := 0; base < len(src); base += VL {
+		p := WhileLT(base, len(src))
+		for l := 0; l < VL; l++ {
+			if p[l] {
+				vi[l] = idx[base+l]
+			} else {
+				vi[l] = 0
+			}
+		}
+		Scatter(p, dst, vi, Load(src, base, p))
+	}
+}
+
+// maskToPred converts one VL-wide window of a slice mask into a
+// predicate register, combined with the whilelt bound.
+func maskToPred(mask []bool, base, n int) Pred {
+	p := WhileLT(base, n)
+	for l := 0; l < VL; l++ {
+		if p[l] && !mask[base+l] {
+			p[l] = false
+		}
+	}
+	return p
+}
+
+func refAddMasked(dst, a, b []float64, mask []bool) {
+	for base := 0; base < len(dst); base += VL {
+		p := maskToPred(mask, base, len(dst))
+		Store(dst, base, p, Add(p, Load(a, base, p), Load(b, base, p)))
+	}
+}
+
+func refFMAMasked(dst, acc, a, b []float64, mask []bool) {
+	for base := 0; base < len(dst); base += VL {
+		p := maskToPred(mask, base, len(dst))
+		Store(dst, base, p, Fma(p, Load(acc, base, p), Load(a, base, p), Load(b, base, p)))
+	}
+}
+
+// randomInputs builds n-element operand slices with a few hostile values
+// (negatives, zeros, infinities) mixed into the uniform draw.
+func randomInputs(rng *rand.Rand, n int) (a, b []float64) {
+	a = make([]float64, n)
+	b = make([]float64, n)
+	for i := range a {
+		a[i] = rng.NormFloat64() * 10
+		b[i] = rng.NormFloat64() * 10
+	}
+	if n > 0 {
+		a[rng.Intn(n)] = 0
+		b[rng.Intn(n)] = math.Inf(1)
+	}
+	return a, b
+}
+
+func bitsEqual(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: element %d differs: got %x (%v) want %x (%v)",
+				name, i, math.Float64bits(got[i]), got[i],
+				math.Float64bits(want[i]), want[i])
+		}
+	}
+}
+
+// TestBatchEquivalence drives every batch op against its per-register
+// composition over awkward lengths (empty, sub-register, register
+// multiples, ragged tails).
+func TestBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 3, 7, 8, 9, 16, 17, 64, 65, 1000} {
+		a, b := randomInputs(rng, n)
+		acc := make([]float64, n)
+		for i := range acc {
+			acc[i] = rng.NormFloat64()
+		}
+		mask := make([]bool, n)
+		for i := range mask {
+			mask[i] = rng.Intn(2) == 0
+		}
+		idx := make([]int64, n)
+		for i, v := range rng.Perm(n) {
+			idx[i] = int64(v)
+		}
+
+		got := make([]float64, n)
+		want := make([]float64, n)
+
+		AddSlices(got, a, b)
+		refAddSlices(want, a, b)
+		bitsEqual(t, "AddSlices", got, want)
+
+		SubSlices(got, a, b)
+		for i := range want {
+			want[i] = Sub(AllTrue, Dup(a[i]), Dup(b[i]))[0]
+		}
+		bitsEqual(t, "SubSlices", got, want)
+
+		MulSlices(got, a, b)
+		for i := range want {
+			want[i] = Mul(AllTrue, Dup(a[i]), Dup(b[i]))[0]
+		}
+		bitsEqual(t, "MulSlices", got, want)
+
+		DivSlices(got, a, b)
+		for i := range want {
+			want[i] = Div(AllTrue, Dup(a[i]), Dup(b[i]))[0]
+		}
+		bitsEqual(t, "DivSlices", got, want)
+
+		FMASlices(got, acc, a, b)
+		refFMASlices(want, acc, a, b)
+		bitsEqual(t, "FMASlices", got, want)
+
+		FMAConstSlices(got, a, 3, 2)
+		for base := 0; base < n; base += VL {
+			p := WhileLT(base, n)
+			Store(want, base, p, Fma(p, Dup(2), Dup(3), Load(a, base, p)))
+		}
+		bitsEqual(t, "FMAConstSlices", got, want)
+
+		TriadSlices(got, a, 3, b)
+		for i := range want {
+			want[i] = a[i] + 3*b[i]
+		}
+		bitsEqual(t, "TriadSlices", got, want)
+
+		ScaleSlices(got, a, 3)
+		for i := range want {
+			want[i] = Mul(AllTrue, Dup(3), Dup(a[i]))[0]
+		}
+		bitsEqual(t, "ScaleSlices", got, want)
+
+		RecipSlices(got, a)
+		for base := 0; base < n; base += VL {
+			p := WhileLT(base, n)
+			Store(want, base, p, Div(p, Dup(1), Load(a, base, p)))
+		}
+		bitsEqual(t, "RecipSlices", got, want)
+
+		// Sqrt over |a| keeps NaN noise out of the bit comparison shape
+		// (NaN != NaN bitwise is fine — math.Sqrt is deterministic — but
+		// mixed-sign inputs exercise the NaN path too).
+		SqrtSlices(got, a)
+		for base := 0; base < n; base += VL {
+			p := WhileLT(base, n)
+			Store(want, base, p, Sqrt(p, Load(a, base, p)))
+		}
+		bitsEqual(t, "SqrtSlices", got, want)
+
+		copy(got, acc)
+		copy(want, acc)
+		CopyGTSlices(got, a, 0)
+		refCopyGT(want, a, 0)
+		bitsEqual(t, "CopyGTSlices", got, want)
+
+		copy(got, acc)
+		copy(want, acc)
+		AddSlicesMasked(got, a, b, mask)
+		refAddMasked(want, a, b, mask)
+		bitsEqual(t, "AddSlicesMasked", got, want)
+
+		copy(got, b)
+		copy(want, b)
+		FMASlicesMasked(got, acc, a, b, mask)
+		refFMAMasked(want, acc, a, b, mask)
+		bitsEqual(t, "FMASlicesMasked", got, want)
+
+		gr := GatherSlices(got, a, idx)
+		wr := refGatherSlices(want, a, idx)
+		if gr != wr {
+			t.Fatalf("GatherSlices n=%d: request count %d, per-register %d", n, gr, wr)
+		}
+		bitsEqual(t, "GatherSlices", got, want)
+
+		for i := range got {
+			got[i] = 0
+			want[i] = 0
+		}
+		ScatterSlices(got, a, idx)
+		refScatterSlices(want, a, idx)
+		bitsEqual(t, "ScatterSlices", got, want)
+	}
+}
+
+// TestButterflyC128 checks the batched butterfly against the scalar
+// two-point update it replaces.
+func TestButterflyC128(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 5, 64} {
+		u := make([]complex128, n)
+		v := make([]complex128, n)
+		tw := make([]complex128, n)
+		for i := range u {
+			u[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			tw[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		wu := append([]complex128(nil), u...)
+		wv := append([]complex128(nil), v...)
+		for k := range wu {
+			a := wu[k]
+			b := wv[k] * tw[k]
+			wu[k] = a + b
+			wv[k] = a - b
+		}
+		ButterflyC128(u, v, tw)
+		for k := range u {
+			if u[k] != wu[k] || v[k] != wv[k] {
+				t.Fatalf("butterfly k=%d: got (%v,%v) want (%v,%v)", k, u[k], v[k], wu[k], wv[k])
+			}
+		}
+	}
+}
+
+// TestBatchLengthMismatch pins the panic contract: a batch op must refuse
+// mismatched operands rather than silently truncate.
+func TestBatchLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddSlices accepted mismatched operand lengths")
+		}
+	}()
+	AddSlices(make([]float64, 4), make([]float64, 4), make([]float64, 5))
+}
+
+// TestAllTrue pins the package predicate against PTrue.
+func TestAllTrue(t *testing.T) {
+	if AllTrue != PTrue() {
+		t.Fatalf("AllTrue = %v, want all lanes true", AllTrue)
+	}
+}
+
+// FuzzBatchEquivalence feeds arbitrary lane data, lengths and masks to
+// the batch ops and cross-checks the per-register composition bit for
+// bit — the contract every converted kernel relies on.
+func FuzzBatchEquivalence(f *testing.F) {
+	f.Add(int64(1), uint(9), uint8(0xA5))
+	f.Add(int64(42), uint(0), uint8(0x00))
+	f.Add(int64(-7), uint(31), uint8(0xFF))
+	f.Fuzz(func(t *testing.T, seed int64, un uint, maskByte uint8) {
+		n := int(un % 257)
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomInputs(rng, n)
+		acc := make([]float64, n)
+		mask := make([]bool, n)
+		idx := make([]int64, n)
+		for i := range acc {
+			acc[i] = rng.NormFloat64()
+			mask[i] = maskByte&(1<<(i%8)) != 0
+			idx[i] = int64(rng.Intn(n))
+		}
+
+		got := make([]float64, n)
+		want := make([]float64, n)
+
+		AddSlices(got, a, b)
+		refAddSlices(want, a, b)
+		bitsEqual(t, "AddSlices", got, want)
+
+		FMASlices(got, acc, a, b)
+		refFMASlices(want, acc, a, b)
+		bitsEqual(t, "FMASlices", got, want)
+
+		copy(got, acc)
+		copy(want, acc)
+		CopyGTSlices(got, a, 0)
+		refCopyGT(want, a, 0)
+		bitsEqual(t, "CopyGTSlices", got, want)
+
+		copy(got, acc)
+		copy(want, acc)
+		AddSlicesMasked(got, a, b, mask)
+		refAddMasked(want, a, b, mask)
+		bitsEqual(t, "AddSlicesMasked", got, want)
+
+		copy(got, b)
+		copy(want, b)
+		FMASlicesMasked(got, acc, a, b, mask)
+		refFMAMasked(want, acc, a, b, mask)
+		bitsEqual(t, "FMASlicesMasked", got, want)
+
+		gr := GatherSlices(got, a, idx)
+		wr := refGatherSlices(want, a, idx)
+		if gr != wr {
+			t.Fatalf("GatherSlices: request count %d, per-register %d", gr, wr)
+		}
+		bitsEqual(t, "GatherSlices", got, want)
+
+		for i := range got {
+			got[i] = 0
+			want[i] = 0
+		}
+		ScatterSlices(got, a, idx)
+		refScatterSlices(want, a, idx)
+		bitsEqual(t, "ScatterSlices", got, want)
+	})
+}
+
+// --- microbenchmarks: every batch op, allocation-free by contract ---
+
+const benchN = 1 << 12
+
+func benchSlices(b *testing.B) (x, y, z []float64) {
+	x = make([]float64, benchN)
+	y = make([]float64, benchN)
+	z = make([]float64, benchN)
+	for i := range x {
+		x[i] = float64(i%97) + 0.5
+		y[i] = float64(i%31) + 1.5
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	return
+}
+
+func BenchmarkAddSlices(b *testing.B) {
+	x, y, z := benchSlices(b)
+	for i := 0; i < b.N; i++ {
+		AddSlices(z, x, y)
+	}
+	sinkF64 = z[0]
+}
+
+func BenchmarkAddPerRegister(b *testing.B) {
+	x, y, z := benchSlices(b)
+	for i := 0; i < b.N; i++ {
+		refAddSlices(z, x, y)
+	}
+	sinkF64 = z[0]
+}
+
+func BenchmarkFMASlices(b *testing.B) {
+	x, y, z := benchSlices(b)
+	for i := 0; i < b.N; i++ {
+		FMASlices(z, z, x, y)
+	}
+	sinkF64 = z[0]
+}
+
+func BenchmarkFMAConstSlices(b *testing.B) {
+	x, _, z := benchSlices(b)
+	for i := 0; i < b.N; i++ {
+		FMAConstSlices(z, x, 3, 2)
+	}
+	sinkF64 = z[0]
+}
+
+func BenchmarkTriadSlices(b *testing.B) {
+	x, y, z := benchSlices(b)
+	for i := 0; i < b.N; i++ {
+		TriadSlices(z, x, 3, y)
+	}
+	sinkF64 = z[0]
+}
+
+func BenchmarkMulSlices(b *testing.B) {
+	x, y, z := benchSlices(b)
+	for i := 0; i < b.N; i++ {
+		MulSlices(z, x, y)
+	}
+	sinkF64 = z[0]
+}
+
+func BenchmarkScaleSlices(b *testing.B) {
+	x, _, z := benchSlices(b)
+	for i := 0; i < b.N; i++ {
+		ScaleSlices(z, x, 3)
+	}
+	sinkF64 = z[0]
+}
+
+func BenchmarkRecipSlices(b *testing.B) {
+	x, _, z := benchSlices(b)
+	for i := 0; i < b.N; i++ {
+		RecipSlices(z, x)
+	}
+	sinkF64 = z[0]
+}
+
+func BenchmarkSqrtSlices(b *testing.B) {
+	x, _, z := benchSlices(b)
+	for i := 0; i < b.N; i++ {
+		SqrtSlices(z, x)
+	}
+	sinkF64 = z[0]
+}
+
+func BenchmarkCopyGTSlices(b *testing.B) {
+	x, _, z := benchSlices(b)
+	for i := 0; i < b.N; i++ {
+		CopyGTSlices(z, x, 48)
+	}
+	sinkF64 = z[0]
+}
+
+func BenchmarkGatherSlices(b *testing.B) {
+	x, _, z := benchSlices(b)
+	idx := make([]int64, benchN)
+	for i := range idx {
+		idx[i] = int64((i * 7) % benchN)
+	}
+	b.ResetTimer()
+	var req int
+	for i := 0; i < b.N; i++ {
+		req = GatherSlices(z, x, idx)
+	}
+	sinkF64 = float64(req)
+}
+
+func BenchmarkScatterSlices(b *testing.B) {
+	x, _, z := benchSlices(b)
+	idx := make([]int64, benchN)
+	for i := range idx {
+		idx[i] = int64((i * 7) % benchN)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScatterSlices(z, x, idx)
+	}
+	sinkF64 = z[0]
+}
+
+func BenchmarkButterflyC128(b *testing.B) {
+	u := make([]complex128, benchN)
+	v := make([]complex128, benchN)
+	tw := make([]complex128, benchN)
+	for i := range u {
+		u[i] = complex(float64(i%13), 1)
+		v[i] = complex(2, float64(i%7))
+		tw[i] = complex(0.8, 0.6)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ButterflyC128(u, v, tw)
+	}
+	sinkF64 = real(u[0])
+}
+
+// sinkF64 defeats dead-code elimination in the benchmarks.
+var sinkF64 float64

@@ -141,7 +141,7 @@ func ExpFixedWidth(dst, src []float64, form PolyForm) {
 	checkLen(dst, src)
 	n := len(src)
 	full := n / sve.VL * sve.VL
-	pt := sve.PTrue()
+	pt := sve.AllTrue
 	for base := 0; base < full; base += sve.VL {
 		x := sve.Load(src, base, pt)
 		sve.Store(dst, base, pt, expVec(pt, x, form))
@@ -158,7 +158,7 @@ func ExpFixedWidth(dst, src []float64, form PolyForm) {
 func ExpUnrolled(dst, src []float64, form PolyForm) {
 	checkLen(dst, src)
 	n := len(src)
-	pt := sve.PTrue()
+	pt := sve.AllTrue
 	base := 0
 	for ; base+2*sve.VL <= n; base += 2 * sve.VL {
 		x0 := sve.Load(src, base, pt)

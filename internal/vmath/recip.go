@@ -22,7 +22,12 @@ import (
 func RecipNewton(dst, src []float64) {
 	checkLen(dst, src)
 	for base := 0; base < len(src); base += sve.VL {
-		p := sve.WhileLT(base, len(src))
+		// The predicate is all-true for every full vector; only the
+		// ragged tail needs whilelt.
+		p := sve.AllTrue
+		if base+sve.VL > len(src) {
+			p = sve.WhileLT(base, len(src))
+		}
 		d := sve.Load(src, base, p)
 		x := sve.Recpe(p, d)
 		for step := 0; step < 3; step++ {
@@ -38,14 +43,11 @@ func RecipNewton(dst, src []float64) {
 	}
 }
 
-// RecipDiv computes dst[i] = 1/src[i] with the blocking FDIV instruction.
+// RecipDiv computes dst[i] = 1/src[i] with the blocking FDIV instruction,
+// batched over the whole slice.
 func RecipDiv(dst, src []float64) {
 	checkLen(dst, src)
-	for base := 0; base < len(src); base += sve.VL {
-		p := sve.WhileLT(base, len(src))
-		d := sve.Load(src, base, p)
-		sve.Store(dst, base, p, sve.Div(p, sve.Dup(1), d))
-	}
+	sve.RecipSlices(dst, src)
 }
 
 // SqrtNewton computes dst[i] = sqrt(src[i]) as x*rsqrt(x) with FRSQRTE +
@@ -55,7 +57,10 @@ func RecipDiv(dst, src []float64) {
 func SqrtNewton(dst, src []float64) {
 	checkLen(dst, src)
 	for base := 0; base < len(src); base += sve.VL {
-		p := sve.WhileLT(base, len(src))
+		p := sve.AllTrue
+		if base+sve.VL > len(src) {
+			p = sve.WhileLT(base, len(src))
+		}
 		d := sve.Load(src, base, p)
 		x := sve.Rsqrte(p, d)
 		for step := 0; step < 3; step++ {
@@ -77,12 +82,9 @@ func SqrtNewton(dst, src []float64) {
 }
 
 // SqrtBlocking computes dst[i] = sqrt(src[i]) with the FSQRT instruction —
-// bit-exact IEEE results, catastrophic throughput on A64FX.
+// bit-exact IEEE results, catastrophic throughput on A64FX — batched over
+// the whole slice.
 func SqrtBlocking(dst, src []float64) {
 	checkLen(dst, src)
-	for base := 0; base < len(src); base += sve.VL {
-		p := sve.WhileLT(base, len(src))
-		d := sve.Load(src, base, p)
-		sve.Store(dst, base, p, sve.Sqrt(p, d))
-	}
+	sve.SqrtSlices(dst, src)
 }
