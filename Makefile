@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet compilerdiag baseline concsurface concbaseline parsafe parsafebaseline check fuzz-cfg fuzz-purity bench benchgate benchrecord gobench figures trace-smoke par-smoke
+.PHONY: build test race vet compilerdiag baseline concsurface concbaseline parsafe parsafebaseline check fuzz-cfg fuzz-purity bench benchgate benchrecord gobench figures trace-smoke par-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -110,6 +110,14 @@ par-smoke:
 	$(GO) run -race ./cmd/ookami-figures -parallel 4 -only fig1,fig2,expstudy > figs_par_smoke.txt
 	$(GO) run ./cmd/ookami-figures -parallel -1 -only fig1,fig2,expstudy | cmp - figs_par_smoke.txt
 	rm -f BENCH_par_smoke.json figs_par_smoke.txt
+
+# Serve smoke: start the prediction API on an ephemeral port, hit
+# every endpoint over real HTTP (predict, roofline, discovery, bench
+# ingest+compare, rate-limit 429, healthz, metrics), then hold the
+# cached predict path to >= 10k req/s with every response verified
+# byte-identical to the direct library call. See docs/SERVE.md.
+serve-smoke:
+	$(GO) run ./cmd/ookami-serve smoke
 
 # The raw `go test -bench` harness (figures/tables + kernel wall-clock).
 gobench:

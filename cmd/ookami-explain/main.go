@@ -4,6 +4,9 @@
 // compiler's vectorization report, and the node-level roofline with the
 // NPB applications placed on it.
 //
+// All analysis lives in internal/explain (the library ookami-serve also
+// calls); this command is a flag parser and text formatter over it.
+//
 // Usage:
 //
 //	ookami-explain -loop exp -tc Fujitsu
@@ -13,78 +16,50 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
-	"strings"
+	"os"
 
-	"ookami/internal/machine"
-	"ookami/internal/npb"
-	"ookami/internal/perfmodel"
-	"ookami/internal/roofline"
+	"ookami/internal/explain"
 	"ookami/internal/toolchain"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ookami-explain: ")
-	loopName := flag.String("loop", "exp", "loop to explain: simple, predicate, gather, scatter, recip, sqrt, exp, sin, pow")
-	tcName := flag.String("tc", "Fujitsu", "toolchain: Fujitsu, Cray, ARM, GNU, Intel")
-	roof := flag.Bool("roofline", false, "print the roofline analysis instead")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run parses args and writes the report to out. Factored out of main so
+// the golden tests can pin the CLI's exact output.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ookami-explain", flag.ContinueOnError)
+	loopName := fs.String("loop", "exp", "loop to explain: simple, predicate, gather, scatter, recip, sqrt, exp, sin, pow")
+	tcName := fs.String("tc", "Fujitsu", "toolchain: Fujitsu, Cray, ARM, GNU, Intel")
+	roof := fs.Bool("roofline", false, "print the roofline analysis instead")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *roof {
-		printRoofline()
-		return
+		_, err := io.WriteString(out, explain.Roofline().Text())
+		return err
 	}
 
 	tc, ok := toolchain.ByName(*tcName)
 	if !ok {
-		log.Fatalf("unknown toolchain %q", *tcName)
+		return fmt.Errorf("unknown toolchain %q", *tcName)
 	}
-	loop, ok := findLoop(*loopName)
+	loop, ok := explain.FindLoop(*loopName)
 	if !ok {
-		log.Fatalf("unknown loop %q", *loopName)
+		return fmt.Errorf("unknown loop %q", *loopName)
 	}
-	m := machine.A64FX
-	if tc.Name == toolchain.Intel.Name {
-		m = machine.SkylakeGold6140
+	r, err := explain.Explain(tc, loop, explain.DefaultMachine(tc))
+	if err != nil {
+		return err
 	}
-	prof, _ := perfmodel.ProfileFor(m.Name)
-	c := tc.Compile(loop, m)
-
-	fmt.Printf("%s compiling the %q loop for %s (%s):\n", tc, loop, m.Name, tc.Flags)
-	for _, msg := range c.Report() {
-		fmt.Printf("  %s\n", msg)
-	}
-	fmt.Println()
-	if !c.Vectorized {
-		fmt.Printf("scalar loop: %.1f cycles/element (serial library call)\n", c.SerialCyclesPerElem)
-		return
-	}
-	fmt.Print(prof.Explain(c.Body, c.ElemsPerIter))
-}
-
-func findLoop(name string) (toolchain.Loop, bool) {
-	all := append(append([]toolchain.Loop{}, toolchain.SimpleLoops...), toolchain.MathLoops...)
-	for _, l := range all {
-		if strings.EqualFold(l.String(), name) {
-			return l, true
-		}
-	}
-	return 0, false
-}
-
-func printRoofline() {
-	for _, m := range []machine.Machine{machine.A64FX, machine.SkylakeGold6140} {
-		var pts []roofline.Point
-		for _, b := range npb.Suite() {
-			pts = append(pts, roofline.Place(m, b.Characterize(npb.ClassC).AppProfile(b.Name())))
-		}
-		fmt.Println(roofline.Render(m, pts, 72, 16))
-	}
-	fmt.Println("roofline winner per app (A64FX vs Skylake-6140, full node):")
-	for _, b := range npb.Suite() {
-		app := b.Characterize(npb.ClassC).AppProfile(b.Name())
-		winner, ratio := roofline.Compare(machine.A64FX, machine.SkylakeGold6140, app)
-		fmt.Printf("  %-3s -> %-14s (%.2fx attainable)\n", b.Name(), winner, ratio)
-	}
+	_, err = io.WriteString(out, r.Text())
+	return err
 }

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden files under testdata/ were captured from the CLI before its
+// logic moved into internal/explain; these tests pin the refactor to
+// byte-identical output. Regenerate deliberately with:
+//
+//	go run ./cmd/ookami-explain <flags> > cmd/ookami-explain/testdata/<name>.golden
+func TestRunGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		golden string
+	}{
+		{"exp/Fujitsu", []string{"-loop", "exp", "-tc", "Fujitsu"}, "exp_fujitsu.golden"},
+		{"exp/GNU scalar fallback", []string{"-loop", "exp", "-tc", "GNU"}, "exp_gnu.golden"},
+		{"sqrt/ARM blocking FSQRT", []string{"-loop", "sqrt", "-tc", "ARM"}, "sqrt_arm.golden"},
+		{"gather/Intel on Skylake", []string{"-loop", "gather", "-tc", "Intel"}, "gather_intel.golden"},
+		{"roofline", []string{"-roofline"}, "roofline.golden"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			if err := run(tc.args, &sb); err != nil {
+				t.Fatalf("run(%v): %v", tc.args, err)
+			}
+			if sb.String() != string(want) {
+				t.Errorf("output diverged from %s\n--- got ---\n%s\n--- want ---\n%s", tc.golden, sb.String(), want)
+			}
+		})
+	}
+}
+
+func TestRunUnknownNames(t *testing.T) {
+	if err := run([]string{"-loop", "nope"}, new(strings.Builder)); err == nil {
+		t.Error("unknown loop: want error, got nil")
+	}
+	if err := run([]string{"-tc", "nope"}, new(strings.Builder)); err == nil {
+		t.Error("unknown toolchain: want error, got nil")
+	}
+}

@@ -29,6 +29,7 @@ var SurfacePackages = []string{
 	"internal/mpi",
 	"internal/omp",
 	"internal/parexec",
+	"internal/serve",
 	"internal/trace",
 }
 

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -136,6 +137,9 @@ func (l *Loader) parseDir(dir string) (base, intest, xtest []*ast.File, err erro
 		if err != nil {
 			return nil, nil, nil, err
 		}
+		if !fileIncluded(f) {
+			continue
+		}
 		switch {
 		case !strings.HasSuffix(name, "_test.go"):
 			base = append(base, f)
@@ -146,6 +150,47 @@ func (l *Loader) parseDir(dir string) (base, intest, xtest []*ast.File, err erro
 		}
 	}
 	return base, intest, xtest, nil
+}
+
+// fileIncluded evaluates a file's //go:build constraint (if any) for the
+// loader's analysis context — the host GOOS/GOARCH with no optional tags
+// set. Without this, a package pairing `//go:build race` and
+// `//go:build !race` files (the race-gated test idiom) type-checks both
+// and fails on the redeclaration; the compiler and go vet never see that
+// configuration, and neither should the analyzers.
+func fileIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed constraint: let the type checker report it
+			}
+			return expr.Eval(buildTagSatisfied)
+		}
+	}
+	return true
+}
+
+// buildTagSatisfied is the tag environment the loader evaluates build
+// constraints under: the host platform and compiler, nothing optional
+// ("race", "integration", ...).
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "solaris", "aix", "dragonfly":
+			return true
+		}
+	}
+	return strings.HasPrefix(tag, "go1")
 }
 
 func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.Info, error) {

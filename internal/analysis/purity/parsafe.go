@@ -28,6 +28,7 @@ import (
 var ParsafePackages = []string{
 	"internal/blas",
 	"internal/cache",
+	"internal/explain",
 	"internal/fft",
 	"internal/hpcc",
 	"internal/loops",

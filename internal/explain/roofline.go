@@ -1,0 +1,102 @@
+package explain
+
+import (
+	"fmt"
+	"strings"
+
+	"ookami/internal/machine"
+	"ookami/internal/npb"
+	"ookami/internal/roofline"
+)
+
+// RooflinePoint is one application operating point on a machine's roof.
+type RooflinePoint struct {
+	Name             string  `json:"name"`
+	IntensityFlopB   float64 `json:"intensityFlopByte"`
+	AttainableGFLOPS float64 `json:"attainableGflops"`
+	Bound            string  `json:"bound"` // "memory" or "compute"
+}
+
+// MachineRoofline is one machine's roofline with the NPB suite placed on
+// it, both typed and ASCII-rendered.
+type MachineRoofline struct {
+	Machine        string          `json:"machine"`
+	PeakGFLOPSNode float64         `json:"peakGflopsNode"`
+	StreamGBs      float64         `json:"streamGBs"`
+	RidgeFlopByte  float64         `json:"ridgeFlopByte"`
+	Points         []RooflinePoint `json:"points"`
+	Rendered       string          `json:"rendered"` // ASCII plot, as the CLI prints it
+}
+
+// RooflineWinner is the Figure 4 predictor for one application: the
+// machine with the higher attainable rate and by what factor.
+type RooflineWinner struct {
+	App    string  `json:"app"`
+	Winner string  `json:"winner"`
+	Ratio  float64 `json:"ratio"`
+}
+
+// RooflineResult is the full roofline analysis the CLI's -roofline mode
+// prints: both study machines with the NPB class C suite placed on them,
+// plus the per-application winner comparison.
+type RooflineResult struct {
+	Machines []MachineRoofline `json:"machines"`
+	Winners  []RooflineWinner  `json:"winners"`
+}
+
+// rooflineMachines are the two systems of the paper's node-level
+// comparison, in the CLI's print order.
+var rooflineMachines = []machine.Machine{machine.A64FX, machine.SkylakeGold6140}
+
+// Roofline computes the node-level roofline analysis. The ASCII renders
+// use the CLI's historical 72x16 grid.
+//
+//ookami:pure places the characterized suite on read-only machine descriptions
+func Roofline() RooflineResult {
+	var res RooflineResult
+	for _, m := range rooflineMachines {
+		var pts []roofline.Point
+		for _, name := range npb.SuiteNames() {
+			st, _ := npb.StatsByName(name, npb.ClassC)
+			pts = append(pts, roofline.Place(m, st.AppProfile(name)))
+		}
+		mr := MachineRoofline{
+			Machine:        m.Name,
+			PeakGFLOPSNode: m.PeakGFLOPSNode(),
+			StreamGBs:      m.MemBWNode,
+			RidgeFlopByte:  roofline.Ridge(m),
+			Rendered:       roofline.Render(m, pts, 72, 16),
+		}
+		for _, p := range pts {
+			mr.Points = append(mr.Points, RooflinePoint{
+				Name:             p.Name,
+				IntensityFlopB:   p.Intensity,
+				AttainableGFLOPS: p.GFLOPS,
+				Bound:            p.Bound,
+			})
+		}
+		res.Machines = append(res.Machines, mr)
+	}
+	a, b := rooflineMachines[0], rooflineMachines[1]
+	for _, name := range npb.SuiteNames() {
+		st, _ := npb.StatsByName(name, npb.ClassC)
+		winner, ratio := roofline.Compare(a, b, st.AppProfile(name))
+		res.Winners = append(res.Winners, RooflineWinner{App: name, Winner: winner, Ratio: ratio})
+	}
+	return res
+}
+
+// Text renders the analysis exactly as cmd/ookami-explain -roofline
+// always printed it.
+func (r RooflineResult) Text() string {
+	var sb strings.Builder
+	for _, m := range r.Machines {
+		sb.WriteString(m.Rendered)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("roofline winner per app (A64FX vs Skylake-6140, full node):\n")
+	for _, w := range r.Winners {
+		fmt.Fprintf(&sb, "  %-3s -> %-14s (%.2fx attainable)\n", w.App, w.Winner, w.Ratio)
+	}
+	return sb.String()
+}

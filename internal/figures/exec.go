@@ -8,50 +8,26 @@
 package figures
 
 import (
+	"ookami/internal/explain"
 	"ookami/internal/machine"
 	"ookami/internal/perfmodel"
 	"ookami/internal/toolchain"
 )
 
-// vecQuality is the SIMD code-generation quality factor of each toolchain
-// on its target (fraction of the vector units' arithmetic throughput the
-// compiled loops sustain). GCC's A64FX backend is competitive — the paper
-// finds it best on most NPB kernels — while its missing math library is
-// accounted separately through MathCost.
-func vecQuality(tc toolchain.Toolchain) float64 {
-	switch tc.Name {
-	case toolchain.Fujitsu.Name:
-		return 0.34
-	case toolchain.Cray.Name:
-		return 0.31
-	case toolchain.Arm.Name:
-		return 0.27
-	case toolchain.GNU.Name:
-		return 0.36
-	default: // Intel
-		return 0.50
-	}
-}
-
-// scalarIPC is the sustained scalar instructions-per-cycle of compiled
-// scalar code (the A64FX's weak out-of-order core versus Skylake).
-func scalarIPC(m machine.Machine) float64 {
-	if m.ISA == machine.SVE {
-		return 1.0
-	}
-	return 2.5
-}
+// The Section IV calibration (vector quality, scalar IPC, barrier and
+// irregular-loop costs) lives in internal/explain so the serve API and
+// the figure generators price applications identically; this file keeps
+// only the engine-memoized math-cost derivation, which is worth caching
+// here because every NPB workload of Figures 3-6 prices the same five
+// loops.
 
 // mathCostFor derives the per-call cycle cost of each math function for a
-// toolchain on a machine from the instruction-level model: the Figure 2
-// kernels are compiled and scheduled, and log is priced as exp plus one
-// refinement step (vector libraries implement them with the same
-// machinery).
-// Each loop's cycle cost is a certified engine query, so the many
-// ExecFor calls that share a (toolchain, machine) pair — every NPB
-// workload of Figures 3-6 prices the same five loops — compile and
-// schedule them once when an engine is installed. The returned map is
-// freshly built per call either way: ExecParams owns its MathCost.
+// toolchain on a machine from the instruction-level model (see
+// explain.MathCost for the direct form). Each loop's cycle cost is a
+// certified engine query, so the many ExecFor calls that share a
+// (toolchain, machine) pair compile and schedule them once when an engine
+// is installed. The returned map is freshly built per call either way:
+// ExecParams owns its MathCost.
 func mathCostFor(tc toolchain.Toolchain, m machine.Machine) map[perfmodel.MathFn]float64 {
 	if _, ok := perfmodel.ProfileFor(m.Name); !ok {
 		return nil
@@ -65,42 +41,19 @@ func mathCostFor(tc toolchain.Toolchain, m machine.Machine) map[perfmodel.MathFn
 	return cost
 }
 
-// barrierCycles models the cost of one OpenMP barrier per runtime. The
-// ARM runtime's barriers measured noticeably more expensive on A64FX in
-// the paper's era, part of its BT/UA deviance.
-func barrierCycles(tc toolchain.Toolchain) float64 {
-	if tc.Name == toolchain.Arm.Name {
-		return 15000
-	}
-	return 5000
-}
-
-// irregularPenalty is the OpenMP-runtime slowdown factor on irregular,
-// dynamically scheduled loops (UA's rebuilt index lists): the Fujitsu and
-// ARM runtimes handled them poorly in the paper's measurements — the
-// residual deviance first-touch could not repair.
-func irregularPenalty(tc toolchain.Toolchain) float64 {
-	switch tc.Name {
-	case toolchain.Fujitsu.Name:
-		return 1.9
-	case toolchain.Arm.Name:
-		return 1.6
-	}
-	return 1.0
-}
-
 // ExecFor builds the node-level execution parameters for running an
 // application with vectorizable fraction vecFrac under toolchain tc on
-// machine m.
+// machine m. It is explain.ExecFor with the math costs routed through
+// the package engine's memo.
 func ExecFor(tc toolchain.Toolchain, m machine.Machine, vecFrac float64) perfmodel.ExecParams {
 	peakFlopsPerCycle := float64(2 * m.FMAPipes * m.VectorLanes64())
-	vec := vecFrac * peakFlopsPerCycle * vecQuality(tc)
-	scalar := (1 - vecFrac) * scalarIPC(m)
+	vec := vecFrac * peakFlopsPerCycle * explain.VecQuality(tc)
+	scalar := (1 - vecFrac) * explain.ScalarIPC(m)
 	return perfmodel.ExecParams{
 		CyclesPerFlop: 1 / (vec + scalar),
 		MathCost:      mathCostFor(tc, m),
 		Placement:     tc.Placement,
-		BarrierCycles: barrierCycles(tc),
+		BarrierCycles: explain.BarrierCycles(tc),
 	}
 }
 

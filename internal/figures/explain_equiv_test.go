@@ -1,0 +1,48 @@
+package figures
+
+import (
+	"math"
+	"testing"
+
+	"ookami/internal/explain"
+	"ookami/internal/machine"
+	"ookami/internal/npb"
+	"ookami/internal/toolchain"
+)
+
+// The serve API's app predictions (explain.Predict) and the figure
+// generators (NPBTime) must price applications identically — the
+// calibration moved into internal/explain precisely so the two cannot
+// drift. Exact equality is required, not closeness: both sides evaluate
+// the same float expressions in the same order.
+func TestNPBTimeMatchesExplainPredict(t *testing.T) {
+	for _, name := range npbOrder {
+		app, err := npb.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range toolchain.OnA64FX {
+			for _, threads := range []int{1, 12, 48} {
+				want := NPBTime(app, tc, machine.A64FX, threads, false)
+				p, err := explain.Predict(explain.Request{Kernel: name, Toolchain: tc.Name, Threads: threads})
+				if err != nil {
+					t.Fatalf("%s/%s: %v", name, tc.Name, err)
+				}
+				if p.RuntimeSeconds != want {
+					t.Errorf("%s/%s threads=%d: explain %v != figures %v (rel err %v)",
+						name, tc.Name, threads, p.RuntimeSeconds, want,
+						math.Abs(p.RuntimeSeconds-want)/want)
+				}
+			}
+		}
+		// Intel prices on the Skylake node.
+		want := NPBTime(app, toolchain.Intel, machine.SkylakeGold6140, 36, false)
+		p, err := explain.Predict(explain.Request{Kernel: name, Toolchain: "Intel", Threads: 36})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.RuntimeSeconds != want {
+			t.Errorf("%s/Intel: explain %v != figures %v", name, p.RuntimeSeconds, want)
+		}
+	}
+}

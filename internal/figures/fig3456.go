@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"ookami/internal/explain"
 	"ookami/internal/machine"
 	"ookami/internal/npb"
 	"ookami/internal/perfmodel"
@@ -30,7 +31,7 @@ func NPBTime(app npb.Benchmark, tc toolchain.Toolchain, m machine.Machine, threa
 		// Irregular dynamically-scheduled loops: the OpenMP-runtime
 		// penalty the paper observed for Fujitsu and ARM on UA — the
 		// residual deviance that first-touch could not repair.
-		t *= irregularPenalty(tc)
+		t *= explain.IrregularPenalty(tc)
 	}
 	return t
 }

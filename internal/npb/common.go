@@ -102,6 +102,38 @@ func Suite() []Benchmark {
 	return []Benchmark{NewBT(), NewCG(), NewEP(), NewLU(), NewSP(), NewUA()}
 }
 
+// SuiteNames lists the six NPB names in the paper's order.
+//
+//ookami:cold -- six-entry lookup on the driver path, not a kernel
+//ookami:pure
+func SuiteNames() []string { return []string{"BT", "CG", "EP", "LU", "SP", "UA"} }
+
+// StatsByName characterizes the named benchmark (exact name) through a
+// concrete six-way dispatch instead of the Benchmark interface. The
+// purity firewall cannot resolve interface calls, so certified entry
+// points (explain.Predict, explain.Roofline) characterize through this
+// function; it must agree with Suite()[i].Characterize by construction.
+//
+//ookami:cold -- characterization on the driver path, not a kernel
+//ookami:pure concrete dispatch over the fixed suite
+func StatsByName(name string, c Class) (Stats, bool) {
+	switch name {
+	case "BT":
+		return NewBT().Characterize(c), true
+	case "CG":
+		return NewCG().Characterize(c), true
+	case "EP":
+		return NewEP().Characterize(c), true
+	case "LU":
+		return NewLU().Characterize(c), true
+	case "SP":
+		return NewSP().Characterize(c), true
+	case "UA":
+		return NewUA().Characterize(c), true
+	}
+	return Stats{}, false
+}
+
 // ByName returns the named benchmark.
 //
 //ookami:cold -- six-entry lookup on the driver path, not a kernel

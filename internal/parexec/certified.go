@@ -23,6 +23,7 @@ type Cert struct {
 // at Engine.Run — the gate that keeps uncertified (potentially
 // state-sharing) code out of the worker pool.
 var Dispatch = map[string]Cert{
+	"explain.Predict":            {Pkg: "internal/explain", Func: "Predict"},
 	"toolchain.Compile":          {Pkg: "internal/toolchain", Func: "Toolchain.Compile"},
 	"toolchain.CyclesPerElement": {Pkg: "internal/toolchain", Func: "CompiledLoop.CyclesPerElement"},
 	"toolchain.RuntimeSeconds":   {Pkg: "internal/toolchain", Func: "CompiledLoop.RuntimeSeconds"},

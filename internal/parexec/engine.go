@@ -59,6 +59,25 @@ func (e *Engine) MemoStats() (hits, misses int) {
 	return e.memo.Stats()
 }
 
+// SetMemoCapacity bounds the engine's result cache to n entries with LRU
+// eviction (n <= 0 keeps it unbounded). Must be called before the first
+// query; it is how the server keeps a heavy-traffic cache from growing
+// with uptime while figure generation keeps the unbounded default.
+func (e *Engine) SetMemoCapacity(n int) {
+	if e != nil {
+		e.memo.SetCapacity(n)
+	}
+}
+
+// MemoMetrics snapshots the memo cache's full counter set (hits, misses,
+// evictions, size, capacity).
+func (e *Engine) MemoMetrics() MemoMetrics {
+	if e == nil {
+		return MemoMetrics{}
+	}
+	return e.memo.Metrics()
+}
+
 // Map fans fn(0)..fn(n-1) across the pool (inline when serial/nil).
 func (e *Engine) Map(n int, fn func(i int)) {
 	if e == nil {

@@ -140,6 +140,98 @@ func TestMemoPanicDoesNotPoison(t *testing.T) {
 	}
 }
 
+func TestMemoBoundedLRUEvicts(t *testing.T) {
+	var m Memo
+	m.SetCapacity(2)
+	calls := map[string]int{}
+	get := func(k string) any {
+		return m.Do(k, func() any { calls[k]++; return k })
+	}
+	get("a")
+	get("b")
+	get("a") // touch a: b becomes the LRU entry
+	get("c") // over capacity: evicts b
+	if mm := m.Metrics(); mm.Evictions != 1 || mm.Size != 2 || mm.Cap != 2 {
+		t.Fatalf("metrics after eviction: %+v", mm)
+	}
+	get("a") // still cached
+	get("b") // evicted, recomputes (and pushes out the LRU entry c)
+	if calls["a"] != 1 || calls["b"] != 2 || calls["c"] != 1 {
+		t.Fatalf("compute counts: %v", calls)
+	}
+	if mm := m.Metrics(); mm.Evictions != 2 || mm.Size != 2 {
+		t.Fatalf("metrics after recompute: %+v", mm)
+	}
+}
+
+// An in-flight computation must survive any amount of cache pressure:
+// its waiters hold the entry, and evicting it would break the
+// "N concurrent identical queries, 1 compute" coalescing guarantee.
+func TestMemoBoundedKeepsInFlight(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	var m Memo
+	m.SetCapacity(1)
+	release := make(chan struct{})
+	var slowCalls, waiters int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := m.Do("slow", func() any {
+				atomic.AddInt32(&slowCalls, 1)
+				<-release
+				return 99
+			})
+			if v != 99 {
+				t.Errorf("slow waiter got %v", v)
+			}
+			atomic.AddInt32(&waiters, 1)
+		}()
+	}
+	// Churn unique completed keys through the cap-1 cache while the slow
+	// computation is still in flight.
+	for i := 0; i < 100; i++ {
+		k := "churn" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		m.Do(k, func() any { return i })
+	}
+	close(release)
+	wg.Wait()
+	if slowCalls != 1 {
+		t.Fatalf("slow fn executed %d times, want 1", slowCalls)
+	}
+	if waiters != 8 {
+		t.Fatalf("%d waiters returned, want 8", waiters)
+	}
+	if mm := m.Metrics(); mm.Size > mm.Cap+1 || mm.Evictions == 0 {
+		t.Fatalf("bounded cache did not stay bounded: %+v", mm)
+	}
+}
+
+func TestMemoSetCapacityPanicsWhenLive(t *testing.T) {
+	var m Memo
+	m.Do("k", func() any { return 1 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetCapacity on a non-empty memo did not panic")
+		}
+	}()
+	m.SetCapacity(4)
+}
+
+func TestEngineMemoCapacityMetrics(t *testing.T) {
+	e := NewSerial()
+	defer e.Close()
+	e.SetMemoCapacity(2)
+	for _, l := range []toolchain.Loop{toolchain.LoopSimple, toolchain.LoopGather, toolchain.LoopScatter} {
+		e.LoopCycles(toolchain.Fujitsu, l, machine.A64FX)
+	}
+	mm := e.MemoMetrics()
+	if mm.Cap != 2 || mm.Size != 2 || mm.Evictions != 1 || mm.Misses != 3 {
+		t.Fatalf("engine memo metrics: %+v", mm)
+	}
+}
+
 // TestEngineMatchesDirect pins the memoized query to the direct
 // computation for every (toolchain, loop) pair on both machines, serial
 // and parallel — the bit-identical guarantee the golden CSV test relies

@@ -90,9 +90,12 @@ func chainFactor(m machine.Machine) float64 {
 	return 4.0 / 4.5
 }
 
-// effectiveBW computes achievable stream and random bandwidth (GB/s) for p
-// threads under the given placement on machine m.
-func effectiveBW(m machine.Machine, p int, placement Placement, churn float64) (stream, random float64) {
+// EffectiveBW computes achievable stream and random bandwidth (GB/s) for p
+// threads under the given placement on machine m, with churn the fraction
+// of traffic whose placement first-touch cannot repair.
+//
+//ookami:pure bandwidth arithmetic over the machine description
+func EffectiveBW(m machine.Machine, p int, placement Placement, churn float64) (stream, random float64) {
 	stream = math.Min(float64(p)*m.StreamBWCore(), m.MemBWNode)
 	random = math.Min(float64(p)*m.RandomBWCore(), m.RandomBWNode())
 	cmg0Frac := churn // traffic that behaves as if concentrated on one NUMA node
@@ -112,6 +115,35 @@ func effectiveBW(m machine.Machine, p int, placement Placement, churn float64) (
 	return stream, random
 }
 
+// NodeTimeParts is the component breakdown of a NodeTime prediction, in
+// seconds: the Amdahl serial term, the parallel compute term, the memory
+// (bandwidth) term, and the synchronization term. Compute and memory
+// overlap imperfectly, so Total = Serial + max(Parallel, Memory) + Sync.
+type NodeTimeParts struct {
+	Serial   float64 `json:"serialSeconds"`
+	Parallel float64 `json:"parallelSeconds"`
+	Memory   float64 `json:"memorySeconds"`
+	Sync     float64 `json:"syncSeconds"`
+}
+
+// Total combines the parts under the roofline overlap rule.
+//
+//ookami:pure
+func (t NodeTimeParts) Total() float64 {
+	return t.Serial + math.Max(t.Parallel, t.Memory) + t.Sync
+}
+
+// Bound names the dominating term of the overlapped pair: "compute" when
+// the parallel compute term covers the memory term, "memory" otherwise.
+//
+//ookami:pure
+func (t NodeTimeParts) Bound() string {
+	if t.Parallel >= t.Memory {
+		return "compute"
+	}
+	return "memory"
+}
+
 // NodeTime predicts the runtime in seconds of app on machine m with p
 // threads under exec. The model is a roofline with an Amdahl serial term,
 // frequency droop, math-library costs, NUMA placement, and barrier
@@ -120,6 +152,15 @@ func effectiveBW(m machine.Machine, p int, placement Placement, churn float64) (
 //ookami:pure single-node model evaluation; workers may call it concurrently
 //ookami:nolint hiddeninput -- MathCalls keys are collected and sorted before summation; iteration order cannot reach the result
 func NodeTime(m machine.Machine, app AppProfile, exec ExecParams, p int) float64 {
+	return NodeTimeBreakdown(m, app, exec, p).Total()
+}
+
+// NodeTimeBreakdown is NodeTime with the component terms exposed — the
+// "explain-style" view of an application prediction the serve API returns.
+//
+//ookami:pure same evaluation as NodeTime, components kept separate
+//ookami:nolint hiddeninput -- MathCalls keys are collected and sorted before summation; iteration order cannot reach the result
+func NodeTimeBreakdown(m machine.Machine, app AppProfile, exec ExecParams, p int) NodeTimeParts {
 	if p < 1 {
 		panic("perfmodel: thread count must be >= 1")
 	}
@@ -148,7 +189,7 @@ func NodeTime(m machine.Machine, app AppProfile, exec ExecParams, p int) float64
 	serial := app.SerialFrac * computeCycles / clockHz
 	parallel := (1 - app.SerialFrac) * computeCycles / (float64(p) * clockHz)
 
-	streamBW, randomBW := effectiveBW(m, p, exec.Placement, app.TouchChurn)
+	streamBW, randomBW := EffectiveBW(m, p, exec.Placement, app.TouchChurn)
 	// Strided traffic moves whole cache lines; scale by line size vs 64 B.
 	strided := app.StridedBytes * float64(m.CacheLineB) / 64
 	memSec := (app.StreamBytes+strided)/(streamBW*1e9) + app.RandomBytes/(randomBW*1e9)
@@ -162,9 +203,7 @@ func NodeTime(m machine.Machine, app AppProfile, exec ExecParams, p int) float64
 		syncSec = app.Barriers * barrier * math.Log2(float64(p)) / clockHz
 	}
 
-	// Compute and memory overlap imperfectly; take the max (roofline) and
-	// add the non-overlappable serial and sync terms.
-	return serial + math.Max(parallel, memSec) + syncSec
+	return NodeTimeParts{Serial: serial, Parallel: parallel, Memory: memSec, Sync: syncSec}
 }
 
 // ScalingCurve returns runtimes for each thread count in threads.

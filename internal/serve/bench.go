@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"ookami/internal/bench"
+)
+
+// benchStore holds ingested benchmark reports in memory, bounded: when a
+// new run would exceed max, the oldest is dropped. Runs are ephemeral
+// operational data — the committed baseline is the durable record.
+type benchStore struct {
+	mu    sync.Mutex
+	max   int
+	seq   int
+	runs  map[string]*bench.Report
+	order []string // ingest order, oldest first
+}
+
+func newBenchStore(max int) *benchStore {
+	return &benchStore{max: max, runs: make(map[string]*bench.Report)}
+}
+
+// put stores a report and returns its assigned id.
+func (st *benchStore) put(r *bench.Report) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	id := fmt.Sprintf("run-%06d", st.seq)
+	st.runs[id] = r
+	st.order = append(st.order, id)
+	for len(st.order) > st.max {
+		delete(st.runs, st.order[0])
+		st.order = st.order[1:]
+	}
+	return id
+}
+
+// get returns the report with id, or the latest when id is empty.
+func (st *benchStore) get(id string) (*bench.Report, string, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if id == "" {
+		if len(st.order) == 0 {
+			return nil, "", false
+		}
+		id = st.order[len(st.order)-1]
+	}
+	r, ok := st.runs[id]
+	return r, id, ok
+}
+
+// list returns the stored run ids, oldest first.
+func (st *benchStore) list() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]string(nil), st.order...)
+}
+
+// ingestResponse is the POST /v1/bench/runs answer.
+type ingestResponse struct {
+	ID      string `json:"id"`
+	Results int    `json:"results"`
+}
+
+// handleBenchIngest accepts a BENCH_*.json report body. The connection
+// gets a read deadline before decoding — a client that trickles a large
+// report cannot pin the handler goroutine past ReadTimeout.
+func (s *Server) handleBenchIngest(w http.ResponseWriter, r *http.Request) {
+	rc := http.NewResponseController(w)
+	// httptest recorders don't implement deadlines; ErrNotSupported is
+	// fine there, the timeout matters on real connections.
+	_ = rc.SetReadDeadline(s.cfg.Now().Add(s.cfg.ReadTimeout))
+	var rep bench.Report
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&rep); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if rep.Schema != bench.SchemaVersion {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("report schema version %d, this server reads version %d", rep.Schema, bench.SchemaVersion))
+		return
+	}
+	if len(rep.Results) == 0 {
+		writeError(w, http.StatusBadRequest, "report has no results")
+		return
+	}
+	id := s.store.put(&rep)
+	writeJSON(w, http.StatusCreated, ingestResponse{ID: id, Results: len(rep.Results)})
+}
+
+// listResponse is the GET /v1/bench/runs answer.
+type listResponse struct {
+	Runs []string `json:"runs"`
+}
+
+func (s *Server) handleBenchList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, listResponse{Runs: s.store.list()})
+}
+
+// compareResponse is the GET /v1/bench/compare answer: the ingested
+// run diffed against the committed baseline.
+type compareResponse struct {
+	Run         string   `json:"run"`
+	Baseline    string   `json:"baseline"`
+	Regressions []string `json:"regressions"`
+	Improved    []string `json:"improved"`
+	EnvMismatch []string `json:"envMismatch,omitempty"`
+	Table       string   `json:"table"`
+}
+
+// handleBenchCompare diffs a stored run (?run=id, default the latest)
+// against the committed baseline using the noise-aware comparator.
+func (s *Server) handleBenchCompare(w http.ResponseWriter, r *http.Request) {
+	if s.baseline == nil {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("no benchmark baseline loaded (looked for %s)", s.cfg.BaselinePath))
+		return
+	}
+	rep, id, ok := s.store.get(r.URL.Query().Get("run"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such bench run (ingest one via POST /v1/bench/runs)")
+		return
+	}
+	cmp := bench.Compare(s.baseline, rep, bench.CompareOptions{})
+	resp := compareResponse{
+		Run:         id,
+		Baseline:    s.cfg.BaselinePath,
+		Regressions: []string{},
+		Improved:    []string{},
+		EnvMismatch: cmp.EnvMismatch,
+		Table:       cmp.Table().String(),
+	}
+	for _, d := range cmp.Deltas {
+		switch {
+		case d.Regressed:
+			resp.Regressions = append(resp.Regressions, d.Name)
+		case d.Improved:
+			resp.Improved = append(resp.Improved, d.Name)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

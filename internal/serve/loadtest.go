@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ookami/internal/explain"
+)
+
+// LoadResult summarizes one load-generation run against /v1/predict.
+type LoadResult struct {
+	Requests   int           // requests completed
+	Errors     int           // transport errors or non-200 statuses
+	Mismatched int           // 200 responses whose body differed from the direct library call
+	Elapsed    time.Duration // wall clock of the generation phase
+	RPS        float64       // Requests / Elapsed
+}
+
+// LoadTest fires workers × perWorker POST /v1/predict requests at
+// baseURL, all with the same request tuple — the cached hot path — and
+// verifies every response body against the direct library evaluation:
+// the byte-identical contract, checked on every single response, at
+// full speed. The first request runs alone to warm the cache so the
+// measured phase is pure cached traffic.
+func LoadTest(baseURL, apiKey string, req explain.Request, workers, perWorker int) (LoadResult, error) {
+	p, err := explain.Predict(req)
+	if err != nil {
+		return LoadResult{}, fmt.Errorf("loadtest: direct evaluation failed: %w", err)
+	}
+	want, err := json.Marshal(p)
+	if err != nil {
+		return LoadResult{}, err
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return LoadResult{}, err
+	}
+
+	transport := &http.Transport{
+		MaxIdleConns:        workers,
+		MaxIdleConnsPerHost: workers,
+	}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+	url := baseURL + "/v1/predict"
+
+	post := func() ([]byte, int, error) {
+		hr, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, 0, err
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		if apiKey != "" {
+			hr.Header.Set(TenantHeader, apiKey)
+		}
+		resp, err := client.Do(hr)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer resp.Body.Close()
+		got, err := io.ReadAll(resp.Body)
+		return got, resp.StatusCode, err
+	}
+
+	// Warm the cache (and fail fast on a broken server) before timing.
+	got, status, err := post()
+	if err != nil {
+		return LoadResult{}, fmt.Errorf("loadtest: warmup request: %w", err)
+	}
+	if status != http.StatusOK {
+		return LoadResult{}, fmt.Errorf("loadtest: warmup request: status %d: %s", status, got)
+	}
+	if !bytes.Equal(got, want) {
+		return LoadResult{}, fmt.Errorf("loadtest: warmup response diverged from library call:\n got: %s\nwant: %s", got, want)
+	}
+
+	var errors, mismatched atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				got, status, err := post()
+				if err != nil || status != http.StatusOK {
+					errors.Add(1)
+					continue
+				}
+				if !bytes.Equal(got, want) {
+					mismatched.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := LoadResult{
+		Requests:   workers * perWorker,
+		Errors:     int(errors.Load()),
+		Mismatched: int(mismatched.Load()),
+		Elapsed:    elapsed,
+	}
+	if elapsed > 0 {
+		r.RPS = float64(r.Requests) / elapsed.Seconds()
+	}
+	return r, nil
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ookami/internal/parexec"
+	"ookami/internal/stats"
+)
+
+// latencyWindow bounds the per-endpoint latency sample ring: enough for
+// stable tail quantiles, small enough that metrics memory does not grow
+// with uptime.
+const latencyWindow = 512
+
+// metrics aggregates per-endpoint request counters and latency samples.
+// Quantiles are computed over a bounded ring of recent samples — a
+// sliding window, not lifetime percentiles, which is what an operator
+// watching a live server wants anyway.
+type metrics struct {
+	mu     sync.Mutex
+	routes map[string]*routeStats
+}
+
+type routeStats struct {
+	count  int64
+	errors int64 // responses with status >= 400
+	ring   []float64
+	next   int
+	full   bool
+}
+
+func newMetrics() *metrics {
+	return &metrics{routes: make(map[string]*routeStats)}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(route string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.routes[route]
+	if rs == nil {
+		rs = &routeStats{ring: make([]float64, latencyWindow)}
+		m.routes[route] = rs
+	}
+	rs.count++
+	if status >= 400 {
+		rs.errors++
+	}
+	rs.ring[rs.next] = d.Seconds()
+	rs.next++
+	if rs.next == len(rs.ring) {
+		rs.next = 0
+		rs.full = true
+	}
+}
+
+// render writes the metrics page: a flat name/value text format with
+// prometheus-style labels, deterministic ordering.
+func (m *metrics) render(sb *strings.Builder, cache parexec.MemoMetrics, inflight int64, tenants int, rejected int64) {
+	fmt.Fprintf(sb, "ookami_serve_inflight %d\n", inflight)
+	fmt.Fprintf(sb, "ookami_serve_cache_hits %d\n", cache.Hits)
+	fmt.Fprintf(sb, "ookami_serve_cache_misses %d\n", cache.Misses)
+	fmt.Fprintf(sb, "ookami_serve_cache_evictions %d\n", cache.Evictions)
+	fmt.Fprintf(sb, "ookami_serve_cache_size %d\n", cache.Size)
+	fmt.Fprintf(sb, "ookami_serve_cache_capacity %d\n", cache.Cap)
+	if total := cache.Hits + cache.Misses; total > 0 {
+		fmt.Fprintf(sb, "ookami_serve_cache_hit_ratio %.4f\n", float64(cache.Hits)/float64(total))
+	} else {
+		sb.WriteString("ookami_serve_cache_hit_ratio 0\n")
+	}
+	fmt.Fprintf(sb, "ookami_serve_tenants %d\n", tenants)
+	fmt.Fprintf(sb, "ookami_serve_ratelimited_total %d\n", rejected)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.routes))
+	for name := range m.routes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rs := m.routes[name]
+		fmt.Fprintf(sb, "ookami_serve_requests_total{route=%q} %d\n", name, rs.count)
+		fmt.Fprintf(sb, "ookami_serve_request_errors_total{route=%q} %d\n", name, rs.errors)
+		window := rs.ring[:rs.next]
+		if rs.full {
+			window = rs.ring
+		}
+		if len(window) == 0 {
+			continue
+		}
+		for _, q := range []float64{50, 90, 99} {
+			fmt.Fprintf(sb, "ookami_serve_latency_seconds{route=%q,q=\"%g\"} %.9f\n",
+				name, q/100, stats.Percentile(window, q))
+		}
+	}
+}

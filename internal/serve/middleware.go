@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// TenantHeader is the API-key header that names the tenant for rate
+// limiting. Requests without it share the anonymous tenant's bucket.
+const TenantHeader = "X-API-Key"
+
+// apiError is the JSON body of every error response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeError sends a JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, apiError{Error: msg})
+}
+
+// writeJSON marshals v and sends it with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	writeBody(w, status, data)
+}
+
+// writeBody sends pre-marshaled JSON. The cached predict path uses it
+// directly: the bytes on the wire are exactly the cached bytes.
+func writeBody(w http.ResponseWriter, status int, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(data) // client gone; nothing useful to do
+}
+
+// statusRecorder captures the response status for the metrics observer.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// wrap is the middleware chain every route passes through: in-flight
+// accounting, per-tenant rate limiting (API routes only), request body
+// bounding, and latency/status observation.
+func (s *Server) wrap(route string, limited bool, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := s.cfg.Now()
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			status := rec.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			s.metrics.observe(route, status, s.cfg.Now().Sub(start))
+		}()
+
+		if limited && s.limiter != nil {
+			if ok, retry := s.limiter.allow(r.Header.Get(TenantHeader)); !ok {
+				rec.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
+				writeError(rec, http.StatusTooManyRequests, "rate limit exceeded")
+				return
+			}
+		}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
+		}
+		h(rec, r)
+	})
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled relaxes throughput assertions: the race detector slows the
+// hot path by an order of magnitude, and the load test's job under -race
+// is finding data races, not proving req/s.
+const raceEnabled = true

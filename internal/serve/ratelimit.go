@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// limiter is a per-tenant token-bucket rate limiter. The tenant is the
+// API-key header value ("" is the shared anonymous tenant), each tenant
+// refills at rate tokens/second up to burst, and the tenant table is
+// bounded: when a new tenant would exceed maxTenants, the least recently
+// seen bucket is dropped — an abandoned key must not hold memory
+// forever, and a dropped tenant merely restarts with a full bucket.
+type limiter struct {
+	rate  float64
+	burst float64
+	max   int
+	now   func() time.Time
+
+	mu       sync.Mutex
+	buckets  map[string]*bucket
+	rejected int64 // requests denied, for /metrics
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time // last refill
+	seen   time.Time // last allow() call, for LRU eviction
+}
+
+func newLimiter(rate float64, burst, maxTenants int, now func() time.Time) *limiter {
+	return &limiter{
+		rate:    rate,
+		burst:   float64(burst),
+		max:     maxTenants,
+		now:     now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow consumes one token from tenant's bucket. When the bucket is
+// empty it reports false and how long until the next token accrues —
+// the Retry-After the 429 response carries.
+func (l *limiter) allow(tenant string) (ok bool, retryAfter time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[tenant]
+	if b == nil {
+		if len(l.buckets) >= l.max {
+			l.evictOldestLocked()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+l.rate*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+	b.seen = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	l.rejected++
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// evictOldestLocked drops the least recently seen bucket. Callers hold
+// l.mu and have checked len(l.buckets) > 0 implicitly via the max bound.
+func (l *limiter) evictOldestLocked() {
+	var oldest string
+	var when time.Time
+	first := true
+	for k, b := range l.buckets {
+		if first || b.seen.Before(when) {
+			oldest, when, first = k, b.seen, false
+		}
+	}
+	delete(l.buckets, oldest)
+}
+
+// stats snapshots the limiter counters for /metrics.
+func (l *limiter) stats() (tenants int, rejected int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets), l.rejected
+}
