@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet compilerdiag baseline concsurface concbaseline parsafe parsafebaseline check fuzz-cfg fuzz-purity bench benchgate benchrecord gobench figures trace-smoke par-smoke serve-smoke
+.PHONY: build test race vet compilerdiag baseline concsurface concbaseline parsafe parsafebaseline check fuzz-cfg fuzz-purity bench benchgate benchrecord gobench figures trace-smoke par-smoke serve-smoke history-smoke
 
 build:
 	$(GO) build ./...
@@ -118,6 +118,22 @@ par-smoke:
 # byte-identical to the direct library call. See docs/SERVE.md.
 serve-smoke:
 	$(GO) run ./cmd/ookami-serve smoke
+
+# History smoke: the result-history loop end to end — two recorded runs
+# (the second through the multi-process fleet runner), the history
+# listing, and the trend analysis parsing both (two runs is below the
+# default -min-points, so it reports "insufficient history" and exits
+# 0). The workload set matches bench-smoke: cheap and breakage-sensing,
+# not drift-sensing. See docs/BENCHMARKS.md.
+history-smoke:
+	$(GO) build -o ookami-bench.smoke ./cmd/ookami-bench
+	./ookami-bench.smoke run -repeats 3 -filter 'loops/simple|vmath/exp' \
+		-out BENCH_hist_smoke.json -history bench_history_smoke -commit smoke1 -q
+	./ookami-bench.smoke run -repeats 3 -filter 'loops/simple|vmath/exp' -procs 2 \
+		-out BENCH_hist_smoke.json -history bench_history_smoke -commit smoke2 -q
+	./ookami-bench.smoke history -dir bench_history_smoke
+	./ookami-bench.smoke trend -dir bench_history_smoke -threshold 3.0 -noise-mult 6
+	rm -f ookami-bench.smoke BENCH_hist_smoke.json
 
 # The raw `go test -bench` harness (figures/tables + kernel wall-clock).
 gobench:

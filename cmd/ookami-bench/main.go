@@ -9,17 +9,26 @@
 //
 //	ookami-bench list
 //	ookami-bench run [-filter regex] [-repeats n] [-warmup n] [-timeout d]
-//	                 [-cov f] [-retries n] [-parallel n] [-out file] [-trace file]
+//	                 [-cov f] [-retries n] [-parallel n] [-procs n]
+//	                 [-history dir] [-commit id] [-out file] [-trace file]
 //	                 [-json] [-q]
 //	ookami-bench compare [-baseline file] [-current file]
 //	                     [-threshold f] [-noise-mult f]
 //	ookami-bench record -update-baseline [run flags]
+//	ookami-bench history [-dir d] [-last n] [-json]
+//	ookami-bench trend [-dir d] [-last n] [-filter regex]
+//	                   [-threshold f] [-noise-mult f] [-min-points n] [-json]
 //
 // `run` writes BENCH_ookami.json (override with -out) and exits
-// nonzero if any workload hard-fails (setup error, panic, timeout).
-// `compare` exits nonzero when any workload regresses. `record`
-// re-runs everything and rewrites the committed baseline under
+// nonzero if any workload hard-fails (setup error, panic, timeout);
+// with -history it also appends the report to the result history, and
+// with -procs > 1 it fans the workloads across worker processes
+// (self-exec with an internal -shard flag) and merges their reports in
+// input order. `compare` exits nonzero when any workload regresses.
+// `record` re-runs everything and rewrites the committed baseline under
 // internal/bench/baseline/; the diff is part of the PR under review.
+// `history` lists the stored runs; `trend` analyzes them for drift and
+// exits nonzero when any workload drifted.
 package main
 
 import (
@@ -29,9 +38,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"regexp"
 	"sort"
 
 	"ookami/internal/bench"
+	"ookami/internal/stats"
 	"ookami/internal/trace"
 
 	// Kernel packages register their workloads from init functions.
@@ -81,6 +93,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		code = cmdCompare(args[1:], out, errOut)
 	case "record":
 		code = cmdRecord(args[1:], out, errOut)
+	case "history":
+		code = cmdHistory(args[1:], out, errOut)
+	case "trend":
+		code = cmdTrend(args[1:], out, errOut)
 	case "-h", "-help", "--help", "help":
 		usage(out)
 	default:
@@ -95,14 +111,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(p *printer) {
-	p.f("usage: ookami-bench <list|run|compare|record> [flags]\n")
+	p.f("usage: ookami-bench <list|run|compare|record|history|trend> [flags]\n")
 	p.f("  list                      list registered workloads\n")
 	p.f("  run     [-filter re] [-repeats n] [-warmup n] [-timeout d] [-cov f]\n")
-	p.f("          [-retries n] [-parallel n] [-out file] [-trace file] [-json] [-q]\n")
+	p.f("          [-retries n] [-parallel n] [-procs n] [-history dir] [-commit id]\n")
+	p.f("          [-out file] [-trace file] [-json] [-q]\n")
 	p.f("                            run and store results\n")
 	p.f("  compare [-baseline file] [-current file] [-threshold f] [-noise-mult f]\n")
 	p.f("                            diff against a baseline; exit 1 on regression\n")
 	p.f("  record  -update-baseline [run flags]            rewrite the committed baseline\n")
+	p.f("  history [-dir d] [-last n] [-json]              list stored runs\n")
+	p.f("  trend   [-dir d] [-last n] [-filter re] [-threshold f] [-noise-mult f]\n")
+	p.f("          [-min-points n] [-json]\n")
+	p.f("                            detect drift across stored runs; exit 1 on drift\n")
 }
 
 func cmdList(args []string, out, errOut *printer) int {
@@ -138,70 +159,122 @@ func paramString(params map[string]string) string {
 	return s + "]"
 }
 
+// runConfig carries every `run`/`record` flag as one value, so the
+// fleet path can rebuild a worker's command line from the parent's.
+type runConfig struct {
+	filter     string
+	opt        bench.Options
+	jsonOut    bool
+	quiet      bool
+	outPath    string
+	tracePath  string
+	parallel   int
+	procs      int
+	shard      string // internal: "i/n" marks a fleet worker
+	historyDir string
+	commit     string
+}
+
 // runFlags defines the flags shared by `run` and `record`.
-func runFlags(fs *flag.FlagSet) (filter *string, opt *bench.Options, jsonOut, quiet *bool, outPath, tracePath *string, parallel *int) {
-	filter = fs.String("filter", "", "regexp selecting workload names (default: all)")
-	opt = &bench.Options{}
-	fs.IntVar(&opt.Repeats, "repeats", 0, "timed samples per workload (default 5)")
-	fs.IntVar(&opt.Warmup, "warmup", 0, "untimed warmup iterations (default 1)")
-	fs.DurationVar(&opt.Timeout, "timeout", 0, "per-workload timeout (default 2m)")
-	fs.Float64Var(&opt.MaxCoV, "cov", 0, "max coefficient of variation before re-running (default 0.25)")
-	fs.IntVar(&opt.Retries, "retries", 0, "re-collections allowed by the CoV gate (default 2)")
-	jsonOut = fs.Bool("json", false, "also write the report JSON to stdout")
-	quiet = fs.Bool("q", false, "suppress per-workload progress")
-	outPath = fs.String("out", bench.DefaultReportPath, "result file to write")
-	tracePath = fs.String("trace", "", "trace the run: write Chrome trace_event JSON to `file` (OOKAMI_TRACE also enables)")
-	parallel = fs.Int("parallel", 1, "runner shards; >1 fans workloads across goroutines with noisy results re-measured serially (default 1: sequential)")
-	return
+func runFlags(fs *flag.FlagSet) *runConfig {
+	cfg := &runConfig{}
+	fs.StringVar(&cfg.filter, "filter", "", "regexp selecting workload names (default: all)")
+	fs.IntVar(&cfg.opt.Repeats, "repeats", 0, "timed samples per workload (default 5)")
+	fs.IntVar(&cfg.opt.Warmup, "warmup", 0, "untimed warmup iterations (default 1)")
+	fs.DurationVar(&cfg.opt.Timeout, "timeout", 0, "per-workload timeout (default 2m)")
+	fs.Float64Var(&cfg.opt.MaxCoV, "cov", 0, "max coefficient of variation before re-running (default 0.25)")
+	fs.IntVar(&cfg.opt.Retries, "retries", 0, "re-collections allowed by the CoV gate (default 2)")
+	fs.BoolVar(&cfg.jsonOut, "json", false, "also write the report JSON to stdout")
+	fs.BoolVar(&cfg.quiet, "q", false, "suppress per-workload progress")
+	fs.StringVar(&cfg.outPath, "out", bench.DefaultReportPath, "result file to write")
+	fs.StringVar(&cfg.tracePath, "trace", "", "trace the run: write Chrome trace_event JSON to `file` (OOKAMI_TRACE also enables)")
+	fs.IntVar(&cfg.parallel, "parallel", 1, "runner shards; >1 fans workloads across goroutines with noisy results re-measured serially (default 1: sequential)")
+	fs.IntVar(&cfg.procs, "procs", 1, "worker processes; >1 fans workloads across self-exec'd workers and merges their reports (default 1: in-process)")
+	fs.StringVar(&cfg.shard, "shard", "", "internal: run only contiguous shard `i/n` of the matched workloads (set by the fleet parent)")
+	fs.StringVar(&cfg.historyDir, "history", "", "also append the report to the result history in `dir`")
+	fs.StringVar(&cfg.commit, "commit", "", "commit id recorded on the history entry (default: unknown)")
+	return cfg
 }
 
 func cmdRun(args []string, out, errOut *printer) int {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	fs.SetOutput(errOut.w)
-	filter, opt, jsonOut, quiet, outPath, tracePath, parallel := runFlags(fs)
+	cfg := runFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	return doRun(*filter, *opt, *jsonOut, *quiet, *outPath, *tracePath, *parallel, out, errOut)
+	return doRun(cfg, out, errOut)
 }
 
-// doRun executes the selected workloads and writes the report.
-func doRun(filter string, opt bench.Options, jsonOut, quiet bool, outPath, tracePath string, parallel int, out, errOut *printer) int {
-	ws, err := bench.Match(filter)
+// doRun executes the selected workloads — in process, as one fleet
+// worker's shard, or as the fleet parent — and writes the report.
+func doRun(cfg *runConfig, out, errOut *printer) int {
+	ws, err := bench.Match(cfg.filter)
 	if err != nil {
 		errOut.f("ookami-bench: %v\n", err)
 		return 2
 	}
-	if len(ws) == 0 {
-		errOut.f("ookami-bench: no workloads match %q\n", filter)
+	if cfg.shard != "" {
+		i, n, err := bench.ParseShard(cfg.shard)
+		if err != nil {
+			errOut.f("ookami-bench: %v\n", err)
+			return 2
+		}
+		lo, hi := bench.ShardRange(i, n, len(ws))
+		// An empty shard (more workers than workloads) writes an empty
+		// report rather than failing: the parent merges it away.
+		ws = ws[lo:hi]
+	} else if len(ws) == 0 {
+		errOut.f("ookami-bench: no workloads match %q\n", cfg.filter)
 		return 2
 	}
-	if !quiet {
+	if cfg.procs > 1 && cfg.shard == "" {
+		return runFleet(cfg, len(ws), out, errOut)
+	}
+	opt := cfg.opt
+	if !cfg.quiet {
 		opt.Log = errOut.w
 	}
-	if tracePath != "" {
+	if cfg.tracePath != "" {
 		trace.Enable()
 	}
-	rep := bench.RunAllSharded(context.Background(), ws, opt, parallel)
-	if tp := effectiveTracePath(tracePath); tp != "" || trace.Enabled() {
+	rep := bench.RunAllSharded(context.Background(), ws, opt, cfg.parallel)
+	if tp := effectiveTracePath(cfg.tracePath); tp != "" || trace.Enabled() {
 		if err := trace.Finish(tp, nil); err != nil {
 			errOut.f("ookami-bench: trace: %v\n", err)
 			return 1
 		}
-		if tp != "" && !quiet {
+		if tp != "" && !cfg.quiet {
 			errOut.f("ookami-bench: trace -> %s\n", tp)
 		}
 	}
-	if err := rep.WriteFile(outPath); err != nil {
+	return finishRun(cfg, rep, out, errOut)
+}
+
+// finishRun stores the report (file, optional stdout JSON, optional
+// history append) and turns hard failures into the exit code. Both the
+// in-process path and the fleet parent end here.
+func finishRun(cfg *runConfig, rep *bench.Report, out, errOut *printer) int {
+	if err := rep.WriteFile(cfg.outPath); err != nil {
 		errOut.f("ookami-bench: %v\n", err)
 		return 1
 	}
-	if jsonOut {
+	if cfg.jsonOut {
 		enc := json.NewEncoder(out.w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
 			errOut.f("ookami-bench: %v\n", err)
 			return 1
+		}
+	}
+	if cfg.historyDir != "" && cfg.shard == "" {
+		entry, err := bench.AppendHistory(cfg.historyDir, cfg.commit, rep)
+		if err != nil {
+			errOut.f("ookami-bench: %v\n", err)
+			return 1
+		}
+		if !cfg.quiet {
+			errOut.f("ookami-bench: history -> %s\n", filepath.Join(cfg.historyDir, entry.ID+".json"))
 		}
 	}
 	failed := 0
@@ -212,8 +285,8 @@ func doRun(filter string, opt bench.Options, jsonOut, quiet bool, outPath, trace
 				rep.Results[i].Name, rep.Results[i].ErrKind, firstLine(rep.Results[i].Error))
 		}
 	}
-	if !quiet {
-		errOut.f("ookami-bench: %d workload(s) -> %s\n", len(rep.Results), outPath)
+	if !cfg.quiet {
+		errOut.f("ookami-bench: %d workload(s) -> %s\n", len(rep.Results), cfg.outPath)
 	}
 	if failed > 0 {
 		return 1
@@ -287,7 +360,7 @@ func cmdCompare(args []string, out, errOut *printer) int {
 func cmdRecord(args []string, out, errOut *printer) int {
 	fs := flag.NewFlagSet("record", flag.ContinueOnError)
 	fs.SetOutput(errOut.w)
-	filter, opt, jsonOut, quiet, _, tracePath, parallel := runFlags(fs)
+	cfg := runFlags(fs)
 	update := fs.Bool("update-baseline", false, "required: rewrite the committed baseline")
 	baseline := fs.String("baseline", bench.DefaultBaselinePath, "baseline file to write")
 	if err := fs.Parse(args); err != nil {
@@ -297,13 +370,128 @@ func cmdRecord(args []string, out, errOut *printer) int {
 		errOut.f("ookami-bench: record refuses to overwrite the baseline without -update-baseline\n")
 		return 2
 	}
-	if *parallel > 1 {
+	if cfg.parallel > 1 || cfg.procs > 1 {
 		// Committed baselines must carry sequential-fidelity timings.
-		errOut.f("ookami-bench: note: record always runs sequentially; ignoring -parallel %d\n", *parallel)
+		errOut.f("ookami-bench: note: record always runs sequentially; ignoring -parallel/-procs\n")
 	}
-	if opt.Repeats == 0 {
+	cfg.parallel, cfg.procs, cfg.shard = 1, 1, ""
+	cfg.outPath = *baseline
+	if cfg.opt.Repeats == 0 {
 		// Baselines deserve more samples than ad-hoc runs.
-		opt.Repeats = 7
+		cfg.opt.Repeats = 7
 	}
-	return doRun(*filter, *opt, *jsonOut, *quiet, *baseline, *tracePath, 1, out, errOut)
+	return doRun(cfg, out, errOut)
+}
+
+func cmdHistory(args []string, out, errOut *printer) int {
+	fs := flag.NewFlagSet("history", flag.ContinueOnError)
+	fs.SetOutput(errOut.w)
+	dir := fs.String("dir", bench.DefaultHistoryDir, "history directory")
+	last := fs.Int("last", 0, "show only the most recent n entries (default: all)")
+	jsonOut := fs.Bool("json", false, "write the entries as JSON to stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	h, err := bench.LoadHistory(*dir)
+	if err != nil {
+		errOut.f("ookami-bench: %v\n", err)
+		return 2
+	}
+	warnQuarantined(h, errOut)
+	h = h.Tail(*last)
+	if *jsonOut {
+		enc := json.NewEncoder(out.w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(h.Entries); err != nil {
+			errOut.f("ookami-bench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	tb := stats.NewTable("", "id", "commit", "env", "recorded", "workloads", "failed")
+	for i := range h.Entries {
+		e := &h.Entries[i]
+		failed := 0
+		for j := range e.Report.Results {
+			if e.Report.Results[j].Failed() {
+				failed++
+			}
+		}
+		tb.AddRow(e.ID, e.Commit, e.EnvHash, e.Report.CreatedAt,
+			fmt.Sprint(len(e.Report.Results)), fmt.Sprint(failed))
+	}
+	out.f("%s", tb.String())
+	out.f("%d entrie(s) in %s\n", len(h.Entries), *dir)
+	return 0
+}
+
+func cmdTrend(args []string, out, errOut *printer) int {
+	fs := flag.NewFlagSet("trend", flag.ContinueOnError)
+	fs.SetOutput(errOut.w)
+	dir := fs.String("dir", bench.DefaultHistoryDir, "history directory")
+	last := fs.Int("last", 0, "analyze only the most recent n entries (default: all)")
+	filter := fs.String("filter", "", "regexp selecting workload names (default: all)")
+	var opt bench.TrendOptions
+	fs.Float64Var(&opt.Threshold, "threshold", 0, "drift ratio before noise widening (default 1.25)")
+	fs.Float64Var(&opt.NoiseMult, "noise-mult", 0, "CoV multiple added to the gate (default 2)")
+	fs.IntVar(&opt.MinPoints, "min-points", 0, "minimum usable runs before judging a workload (default 3)")
+	jsonOut := fs.Bool("json", false, "write the analysis as JSON to stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			errOut.f("ookami-bench: bad -filter: %v\n", err)
+			return 2
+		}
+	}
+	h, err := bench.LoadHistory(*dir)
+	if err != nil {
+		errOut.f("ookami-bench: %v\n", err)
+		return 2
+	}
+	warnQuarantined(h, errOut)
+	tr := bench.DetectTrends(h.Tail(*last), re, opt)
+	// In JSON mode stdout is the document and nothing else — the human
+	// verdict lines move to stderr so the output stays parseable.
+	verdicts := out
+	if *jsonOut {
+		verdicts = errOut
+		enc := json.NewEncoder(out.w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tr); err != nil {
+			errOut.f("ookami-bench: %v\n", err)
+			return 1
+		}
+	} else {
+		out.f("%s", tr.Table().String())
+	}
+	drifts := tr.Drifts()
+	for _, w := range drifts {
+		verdicts.f("DRIFT: %s is %.2fx %s since %s (commit %s; gate %.2fx, CI-disjoint)\n",
+			w.Name, driftFactor(w), w.Direction, w.SinceID, w.SinceCommit, w.Gate)
+	}
+	if len(drifts) > 0 {
+		return 1
+	}
+	verdicts.f("no drift across %d entrie(s)\n", tr.Entries)
+	return 0
+}
+
+// driftFactor renders the drift magnitude as a >1 factor regardless of
+// direction ("2.00x faster", not "0.50x faster").
+func driftFactor(w bench.WorkloadTrend) float64 {
+	if w.Ratio < 1 {
+		return 1 / w.Ratio
+	}
+	return w.Ratio
+}
+
+// warnQuarantined surfaces entries LoadHistory had to move aside.
+func warnQuarantined(h *bench.History, errOut *printer) {
+	for _, q := range h.Quarantined {
+		errOut.f("ookami-bench: warning: quarantined %s: %s\n", q.File, q.Reason)
+	}
 }

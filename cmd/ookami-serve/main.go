@@ -3,11 +3,15 @@
 // machine × threads what-if queries, GET /v1/roofline and the discovery
 // endpoints expose the model's query surface, and POST /v1/bench/runs +
 // GET /v1/bench/compare ingest benchmark reports and diff them against
-// the committed baseline. See docs/SERVE.md for the API reference.
+// the committed baseline. With -history, ingested runs are also
+// appended to the on-disk result history and GET /v1/bench/history +
+// GET /v1/bench/trend expose the stored runs and the drift analysis
+// over them. See docs/SERVE.md for the API reference.
 //
 // Usage:
 //
 //	ookami-serve [-addr :8080] [-cache 4096] [-rate 50] [-burst 100]
+//	             [-baseline file] [-history dir]
 //	ookami-serve smoke    # self-test: start, hit every endpoint, load burst
 package main
 
@@ -49,6 +53,7 @@ func run(args []string) error {
 	rate := fs.Float64("rate", 50, "per-tenant request rate on /v1/ (req/s; negative = unlimited)")
 	burst := fs.Int("burst", 100, "per-tenant burst (token bucket depth)")
 	baseline := fs.String("baseline", "", "benchmark baseline path for /v1/bench/compare")
+	history := fs.String("history", "", "result history directory for /v1/bench/history and /v1/bench/trend (empty: disabled)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +64,7 @@ func run(args []string) error {
 		Rate:          *rate,
 		Burst:         *burst,
 		BaselinePath:  *baseline,
+		HistoryDir:    *history,
 	})
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

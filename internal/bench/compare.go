@@ -47,7 +47,9 @@ type Delta struct {
 	// Improved: the symmetric condition in the other direction.
 	Improved bool
 	// Note carries a skip reason ("baseline errored: timeout", …) for
-	// pairs that could not be compared; such pairs never regress.
+	// pairs that could not be compared — such pairs never regress — or
+	// a data-quality caveat (duplicate workload names) on a pair that
+	// was still compared.
 	Note string
 }
 
@@ -84,23 +86,44 @@ func Compare(base, cur *Report, opt CompareOptions) *Comparison {
 	opt = opt.withDefaults()
 	c := &Comparison{EnvMismatch: envMismatch(base.Env, cur.Env)}
 
+	// A report should never carry duplicate workload names (the registry
+	// rejects them), but a hand-edited or concatenated file can. Keep
+	// the first occurrence of each name — silently keeping the last (a
+	// map overwrite) or emitting one delta per duplicate would let a
+	// malformed file shadow a real regression — and caveat the delta.
 	curByName := map[string]*Result{}
+	curCount := map[string]int{}
 	for i := range cur.Results {
-		curByName[cur.Results[i].Name] = &cur.Results[i]
+		name := cur.Results[i].Name
+		curCount[name]++
+		if curCount[name] == 1 {
+			curByName[name] = &cur.Results[i]
+		}
 	}
-	baseNames := map[string]bool{}
+	baseCount := map[string]int{}
+	for i := range base.Results {
+		baseCount[base.Results[i].Name]++
+	}
+	seenBase := map[string]bool{}
 	for i := range base.Results {
 		b := &base.Results[i]
-		baseNames[b.Name] = true
+		if seenBase[b.Name] {
+			continue // duplicate baseline entry: first occurrence already compared
+		}
+		seenBase[b.Name] = true
 		n, ok := curByName[b.Name]
 		if !ok {
 			c.MissingInCurrent = append(c.MissingInCurrent, b.Name)
 			continue
 		}
-		c.Deltas = append(c.Deltas, compareOne(b, n, opt))
+		d := compareOne(b, n, opt)
+		if note := dupNote(baseCount[b.Name], curCount[b.Name]); note != "" {
+			d.Note = joinNotes(d.Note, note)
+		}
+		c.Deltas = append(c.Deltas, d)
 	}
 	for name := range curByName {
-		if !baseNames[name] {
+		if baseCount[name] == 0 {
 			c.AddedInCurrent = append(c.AddedInCurrent, name)
 		}
 	}
@@ -108,6 +131,28 @@ func Compare(base, cur *Report, opt CompareOptions) *Comparison {
 	sort.Strings(c.MissingInCurrent)
 	sort.Strings(c.AddedInCurrent)
 	return c
+}
+
+// dupNote describes duplicate occurrences of a workload name, or ""
+// when the name is unique on both sides.
+func dupNote(baseN, curN int) string {
+	switch {
+	case baseN > 1 && curN > 1:
+		return fmt.Sprintf("duplicate name (%d in baseline, %d in current); compared first occurrences", baseN, curN)
+	case baseN > 1:
+		return fmt.Sprintf("duplicate name (%d in baseline); compared first occurrence", baseN)
+	case curN > 1:
+		return fmt.Sprintf("duplicate name (%d in current); compared first occurrence", curN)
+	}
+	return ""
+}
+
+// joinNotes combines an existing note with an additional caveat.
+func joinNotes(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "; " + b
 }
 
 // compareOne builds the delta for one workload pair.
@@ -120,7 +165,10 @@ func compareOne(b, n *Result, opt CompareOptions) Delta {
 	case n.Failed():
 		d.Note = fmt.Sprintf("current errored: %s", n.ErrKind)
 		return d
-	case b.Median <= 0 || math.IsNaN(b.Median) || math.IsNaN(n.Median):
+	case b.Median <= 0 || n.Median <= 0 || math.IsNaN(b.Median) || math.IsNaN(n.Median):
+		// Both medians must be positive: a zero or negative median on
+		// either side makes the ratio meaningless (a zero *current*
+		// median would read as Ratio 0, a spurious "improved").
 		d.Note = "no comparable medians"
 		return d
 	}
@@ -164,12 +212,17 @@ func (c *Comparison) Table() *stats.Table {
 	for _, d := range c.Deltas {
 		verdict := "~"
 		switch {
-		case d.Note != "":
-			verdict = "skip (" + d.Note + ")"
+		// A flagged delta wins over its note: a caveat (duplicate name,
+		// noisy samples) annotates the verdict, it does not suppress it.
 		case d.Regressed:
 			verdict = "REGRESSED"
 		case d.Improved:
 			verdict = "improved"
+		case d.Note != "":
+			verdict = "skip (" + d.Note + ")"
+		}
+		if d.Note != "" && (d.Regressed || d.Improved) {
+			verdict += " (" + d.Note + ")"
 		}
 		delta := ""
 		if d.Ratio > 0 {

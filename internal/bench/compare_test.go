@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -96,6 +97,97 @@ func TestCompareSkipsErroredAndMissing(t *testing.T) {
 	}
 	if len(c.AddedInCurrent) != 1 || c.AddedInCurrent[0] != "k/new" {
 		t.Errorf("added = %v", c.AddedInCurrent)
+	}
+}
+
+// TestCompareMedianGuardTable pins the symmetric non-positive/NaN
+// median guard: a zero or negative median on *either* side must skip
+// the pair with a note, never yield Ratio 0 or a spurious verdict.
+func TestCompareMedianGuardTable(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name                  string
+		baseMedian, curMedian float64
+		wantSkip              bool
+	}{
+		{"both positive", 1.0, 1.0, false},
+		{"zero current median", 1.0, 0, true},
+		{"negative current median", 1.0, -1.0, true},
+		{"zero baseline median", 0, 1.0, true},
+		{"negative baseline median", -1.0, 1.0, true},
+		{"NaN current median", 1.0, nan, true},
+		{"NaN baseline median", nan, 1.0, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := res("k/guard", c.baseMedian, 0.02, 0.03)
+			n := res("k/guard", c.curMedian, 0.02, 0.03)
+			cmp := Compare(reportOf(b), reportOf(n), CompareOptions{})
+			if len(cmp.Deltas) != 1 {
+				t.Fatalf("got %d deltas", len(cmp.Deltas))
+			}
+			d := cmp.Deltas[0]
+			if c.wantSkip {
+				if d.Note != "no comparable medians" {
+					t.Errorf("note = %q, want \"no comparable medians\"", d.Note)
+				}
+				if d.Regressed || d.Improved {
+					t.Errorf("degenerate pair flagged: %+v", d)
+				}
+				if d.Ratio != 0 {
+					t.Errorf("skipped pair carries ratio %v", d.Ratio)
+				}
+			} else if d.Note != "" || d.Ratio != 1.0 {
+				t.Errorf("healthy pair skipped: %+v", d)
+			}
+		})
+	}
+}
+
+// TestCompareDuplicateNames pins duplicate-name handling: duplicates in
+// the current report must not overwrite each other (the comparison uses
+// the first occurrence), duplicates in the baseline must not emit
+// duplicate deltas, and either case surfaces a Note on the delta.
+func TestCompareDuplicateNames(t *testing.T) {
+	cases := []struct {
+		name     string
+		base     []Result
+		cur      []Result
+		wantNote string
+	}{
+		{"dup in current",
+			[]Result{res("k/dup", 1.0, 0.02, 0.03)},
+			[]Result{res("k/dup", 1.0, 0.02, 0.03), res("k/dup", 9.9, 0.02, 0.03)},
+			"duplicate name (2 in current); compared first occurrence"},
+		{"dup in baseline",
+			[]Result{res("k/dup", 1.0, 0.02, 0.03), res("k/dup", 9.9, 0.02, 0.03)},
+			[]Result{res("k/dup", 1.0, 0.02, 0.03)},
+			"duplicate name (2 in baseline); compared first occurrence"},
+		{"dup on both sides",
+			[]Result{res("k/dup", 1.0, 0.02, 0.03), res("k/dup", 9.9, 0.02, 0.03)},
+			[]Result{res("k/dup", 1.0, 0.02, 0.03), res("k/dup", 0.1, 0.02, 0.03)},
+			"duplicate name (2 in baseline, 2 in current); compared first occurrences"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cmp := Compare(reportOf(c.base...), reportOf(c.cur...), CompareOptions{})
+			if len(cmp.Deltas) != 1 {
+				t.Fatalf("got %d deltas, want 1 (first occurrences compared once): %+v", len(cmp.Deltas), cmp.Deltas)
+			}
+			d := cmp.Deltas[0]
+			// The first occurrences match at 1.0 on both sides: the pair
+			// must compare clean; the shadowing duplicate (9.9 or 0.1)
+			// must influence neither the ratio nor the verdict.
+			if d.Ratio != 1.0 || d.Regressed || d.Improved {
+				t.Errorf("duplicate shadowed the first occurrence: %+v", d)
+			}
+			if d.Note != c.wantNote {
+				t.Errorf("note = %q, want %q", d.Note, c.wantNote)
+			}
+			if len(cmp.AddedInCurrent) != 0 || len(cmp.MissingInCurrent) != 0 {
+				t.Errorf("duplicates leaked into added/missing: %+v", cmp)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Fleet support: the pieces of the multi-process runner that belong to
+// the bench package — deciding which contiguous slice of the workload
+// list a worker owns, and merging the per-worker reports back into one
+// document whose result order is identical to the sequential path's.
+// The process management itself (self-exec, per-worker report files)
+// lives in cmd/ookami-bench; nothing here starts a goroutine or a
+// process.
+
+// ShardRange returns the half-open range [lo, hi) of the workload list
+// owned by shard i of n. Shards are contiguous and balanced: sizes
+// differ by at most one, earlier shards take the extras, and
+// concatenating the ranges for i = 0..n-1 reproduces [0, total)
+// exactly — which is what makes the merged fleet report's ordering
+// identical to a sequential run over the same list.
+func ShardRange(i, n, total int) (lo, hi int) {
+	if n <= 0 || i < 0 || i >= n || total <= 0 {
+		return 0, 0
+	}
+	base, rem := total/n, total%n
+	lo = i * base
+	if i < rem {
+		lo += i
+	} else {
+		lo += rem
+	}
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// ParseShard parses a worker's "-shard i/n" flag value.
+func ParseShard(s string) (i, n int, err error) {
+	idx, cnt, ok := strings.Cut(s, "/")
+	if ok {
+		i, err = strconv.Atoi(idx)
+		if err == nil {
+			n, err = strconv.Atoi(cnt)
+		}
+	}
+	if !ok || err != nil || n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("bench: invalid shard %q (want i/n with 0 <= i < n)", s)
+	}
+	return i, n, nil
+}
+
+// MergeShardReports combines per-worker reports into one, appending
+// results in the order the reports are given — the parent passes them
+// in shard order, so with contiguous ShardRange slicing the merged
+// result order matches a sequential run of the full workload list. The
+// merged report carries the merging process's own environment stamp;
+// a worker whose environment disagrees is an error, not a silent mix.
+func MergeShardReports(reps []*Report) (*Report, error) {
+	merged := newReport()
+	for i, rep := range reps {
+		if rep == nil {
+			return nil, fmt.Errorf("bench: merge: shard %d report missing", i)
+		}
+		if rep.Schema != SchemaVersion {
+			return nil, fmt.Errorf("bench: merge: shard %d schema version %d, want %d", i, rep.Schema, SchemaVersion)
+		}
+		if rep.Env != merged.Env {
+			return nil, fmt.Errorf("bench: merge: shard %d ran under a different environment (%+v)", i, rep.Env)
+		}
+		merged.Results = append(merged.Results, rep.Results...)
+	}
+	return merged, nil
+}

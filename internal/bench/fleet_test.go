@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestShardRangePartitions pins the fleet contract: for any (n, total),
+// the shard ranges are contiguous, cover [0, total) exactly, and are
+// balanced to within one workload.
+func TestShardRangePartitions(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 16} {
+		for _, total := range []int{0, 1, 2, 3, 5, 8, 16, 17, 100} {
+			next, minSz, maxSz := 0, total, 0
+			for i := 0; i < n; i++ {
+				lo, hi := ShardRange(i, n, total)
+				if lo != next {
+					t.Fatalf("n=%d total=%d shard %d starts at %d, want %d (gap or overlap)", n, total, i, lo, next)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d total=%d shard %d inverted range [%d,%d)", n, total, i, lo, hi)
+				}
+				if sz := hi - lo; total > 0 {
+					if sz < minSz {
+						minSz = sz
+					}
+					if sz > maxSz {
+						maxSz = sz
+					}
+				}
+				next = hi
+			}
+			if next != total {
+				t.Fatalf("n=%d total=%d shards cover [0,%d), want [0,%d)", n, total, next, total)
+			}
+			if total >= n && maxSz-minSz > 1 {
+				t.Errorf("n=%d total=%d shard sizes range %d..%d, want balanced within 1", n, total, minSz, maxSz)
+			}
+		}
+	}
+}
+
+func TestShardRangeDegenerate(t *testing.T) {
+	for _, c := range [][3]int{{-1, 4, 10}, {4, 4, 10}, {0, 0, 10}, {0, -1, 10}, {0, 4, 0}} {
+		if lo, hi := ShardRange(c[0], c[1], c[2]); lo != 0 || hi != 0 {
+			t.Errorf("ShardRange(%d,%d,%d) = [%d,%d), want empty", c[0], c[1], c[2], lo, hi)
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	if i, n, err := ParseShard("2/4"); err != nil || i != 2 || n != 4 {
+		t.Errorf("ParseShard(2/4) = %d, %d, %v", i, n, err)
+	}
+	for _, bad := range []string{"", "2", "4/4", "-1/4", "1/0", "a/b", "1/2/3"} {
+		if _, _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMergeShardReports(t *testing.T) {
+	mk := func(names ...string) *Report {
+		rep := newReport()
+		for _, n := range names {
+			rep.Results = append(rep.Results, Result{Name: n, Median: 1e-3})
+		}
+		return rep
+	}
+	merged, err := MergeShardReports([]*Report{mk("a/1", "a/2"), mk("b/1"), mk(), mk("c/1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, r := range merged.Results {
+		got = append(got, r.Name)
+	}
+	if fmt.Sprint(got) != "[a/1 a/2 b/1 c/1]" {
+		t.Errorf("merged order = %v (must be shard order = input index order)", got)
+	}
+	if merged.Schema != SchemaVersion {
+		t.Errorf("merged schema = %d", merged.Schema)
+	}
+
+	if _, err := MergeShardReports([]*Report{mk("a"), nil}); err == nil {
+		t.Error("nil shard report merged silently")
+	}
+	bad := mk("a")
+	bad.Schema = 99
+	if _, err := MergeShardReports([]*Report{bad}); err == nil {
+		t.Error("wrong-schema shard report merged silently")
+	}
+	alien := mk("a")
+	alien.Env.GoVersion = "go0.0"
+	if _, err := MergeShardReports([]*Report{alien}); err == nil {
+		t.Error("cross-environment shard report merged silently")
+	}
+}

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The result history is the longitudinal record the Ookami papers are
+// built on: the same kernels measured across toolchain and software-
+// stack updates over time. Where the committed baseline answers "did
+// this PR regress anything", the history answers "when did this
+// workload start drifting" — an append-only directory of one
+// schema-versioned JSON file per run, keyed by commit and environment
+// hash, written atomically, and analyzed by the trend detector.
+
+// HistorySchemaVersion versions the on-disk history entry format
+// independently of the report schema it wraps. Bump it when an entry
+// field changes meaning.
+const HistorySchemaVersion = 1
+
+// DefaultHistoryDir is where `ookami-bench run -history` appends
+// entries unless told otherwise.
+const DefaultHistoryDir = "bench_history"
+
+// quarantineDir is the subdirectory unreadable entries are moved to.
+const quarantineDir = "quarantine"
+
+// HistoryEntry is one run in the history: the report plus the identity
+// that keys it (sequence number, source commit, environment hash). The
+// entry's ID is also its filename stem, so a listing of the directory
+// reads as the history itself.
+type HistoryEntry struct {
+	Schema  int     `json:"schema"`
+	ID      string  `json:"id"`
+	Seq     int     `json:"seq"`
+	Commit  string  `json:"commit"`
+	EnvHash string  `json:"envHash"`
+	Report  *Report `json:"report"`
+}
+
+// QuarantinedFile records one entry LoadHistory could not accept and
+// moved aside.
+type QuarantinedFile struct {
+	File   string `json:"file"`
+	Reason string `json:"reason"`
+}
+
+// History is the loaded store: entries in append order plus whatever
+// had to be quarantined on the way in.
+type History struct {
+	Dir         string
+	Entries     []HistoryEntry
+	Quarantined []QuarantinedFile
+}
+
+// Tail returns a copy of the history holding only the last n entries
+// (all of them when n <= 0 or n exceeds the length).
+func (h *History) Tail(n int) *History {
+	t := &History{Dir: h.Dir, Quarantined: h.Quarantined}
+	if n <= 0 || n >= len(h.Entries) {
+		t.Entries = h.Entries
+		return t
+	}
+	t.Entries = h.Entries[len(h.Entries)-n:]
+	return t
+}
+
+// Hash digests the environment fields that move timings into a short
+// stable key, so entries recorded on different hosts (or after a
+// GOMAXPROCS change) are distinguishable at a glance.
+func (e Env) Hash() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%d|%d", e.GoVersion, e.GOOS, e.GOARCH, e.NumCPU, e.GOMAXPROCS)
+	return fmt.Sprintf("%08x", h.Sum64()&0xffffffff)
+}
+
+// histFileRE matches history entry filenames: hist-<seq>-<commit>-<envhash>.json.
+var histFileRE = regexp.MustCompile(`^hist-(\d{6})-([A-Za-z0-9._-]+)-([0-9a-f]{8})\.json$`)
+
+// commitSanitizeRE strips characters that would not survive a filename.
+var commitSanitizeRE = regexp.MustCompile(`[^A-Za-z0-9._-]+`)
+
+// sanitizeCommit makes a commit string filename- and RE-safe.
+func sanitizeCommit(commit string) string {
+	commit = commitSanitizeRE.ReplaceAllString(commit, "_")
+	commit = strings.Trim(commit, "_")
+	if commit == "" {
+		commit = "unknown"
+	}
+	if len(commit) > 16 {
+		commit = commit[:16]
+	}
+	return commit
+}
+
+// AppendHistory appends rep to the history directory as a new entry
+// keyed by commit and the report's environment hash, creating the
+// directory on first use. The write is atomic (temp file + rename), so
+// a crash cannot leave a truncated entry for LoadHistory to quarantine
+// later. The sequence number is one past the highest already present —
+// including quarantined entries, so a quarantined run's identity is
+// never silently reused.
+func AppendHistory(dir, commit string, rep *Report) (*HistoryEntry, error) {
+	if rep == nil || rep.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: history append: report missing or wrong schema")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bench: history append: %w", err)
+	}
+	seq := maxHistorySeq(dir) + 1
+	entry := &HistoryEntry{
+		Schema:  HistorySchemaVersion,
+		Seq:     seq,
+		Commit:  sanitizeCommit(commit),
+		EnvHash: rep.Env.Hash(),
+		Report:  rep,
+	}
+	entry.ID = fmt.Sprintf("hist-%06d-%s-%s", entry.Seq, entry.Commit, entry.EnvHash)
+	data, err := json.MarshalIndent(entry, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("bench: history append: encode: %w", err)
+	}
+	if err := atomicWriteFile(filepath.Join(dir, entry.ID+".json"), append(data, '\n')); err != nil {
+		return nil, err
+	}
+	return entry, nil
+}
+
+// maxHistorySeq scans dir (and its quarantine) for the highest
+// sequence number in use.
+func maxHistorySeq(dir string) int {
+	max := 0
+	for _, d := range []string{dir, filepath.Join(dir, quarantineDir)} {
+		names, err := os.ReadDir(d)
+		if err != nil {
+			continue
+		}
+		for _, de := range names {
+			m := histFileRE.FindStringSubmatch(de.Name())
+			if m == nil {
+				continue
+			}
+			if n, err := strconv.Atoi(m[1]); err == nil && n > max {
+				max = n
+			}
+		}
+	}
+	return max
+}
+
+// LoadHistory reads every entry in dir, in sequence order. Entries
+// that cannot be accepted — unparseable JSON, a wrong schema version,
+// an ID that disagrees with the filename, a report the current tools
+// cannot read — are moved into dir/quarantine/ and reported in
+// History.Quarantined rather than failing the load: one corrupted file
+// (a crash predating atomic writes, a bad merge) must not take the
+// whole longitudinal record down with it. A missing directory is an
+// error: an empty history and a mistyped path must not look alike.
+func LoadHistory(dir string) (*History, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("bench: history: %w", err)
+	}
+	h := &History{Dir: dir}
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".json") || !strings.HasPrefix(name, "hist-") {
+			continue
+		}
+		entry, reason := loadHistoryEntry(dir, name)
+		if reason != "" {
+			h.Quarantined = append(h.Quarantined, quarantine(dir, name, reason))
+			continue
+		}
+		h.Entries = append(h.Entries, *entry)
+	}
+	sort.Slice(h.Entries, func(i, j int) bool {
+		if h.Entries[i].Seq != h.Entries[j].Seq {
+			return h.Entries[i].Seq < h.Entries[j].Seq
+		}
+		return h.Entries[i].ID < h.Entries[j].ID
+	})
+	sort.Slice(h.Quarantined, func(i, j int) bool { return h.Quarantined[i].File < h.Quarantined[j].File })
+	return h, nil
+}
+
+// loadHistoryEntry parses one entry file; a non-empty reason means the
+// file must be quarantined.
+func loadHistoryEntry(dir, name string) (*HistoryEntry, string) {
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return nil, fmt.Sprintf("unreadable: %v", err)
+	}
+	var entry HistoryEntry
+	if err := json.Unmarshal(data, &entry); err != nil {
+		return nil, fmt.Sprintf("unparseable: %v", err)
+	}
+	if entry.Schema != HistorySchemaVersion {
+		return nil, fmt.Sprintf("history schema version %d, this tool reads version %d", entry.Schema, HistorySchemaVersion)
+	}
+	if entry.ID+".json" != name {
+		return nil, fmt.Sprintf("entry id %q disagrees with filename", entry.ID)
+	}
+	if entry.Report == nil {
+		return nil, "entry has no report"
+	}
+	if entry.Report.Schema != SchemaVersion {
+		return nil, fmt.Sprintf("report schema version %d, this tool reads version %d", entry.Report.Schema, SchemaVersion)
+	}
+	return &entry, ""
+}
+
+// quarantine moves a rejected entry into dir/quarantine/, keeping its
+// name so the sequence number stays reserved. If the move itself fails
+// the file stays put; the record of the rejection survives either way.
+func quarantine(dir, name, reason string) QuarantinedFile {
+	qdir := filepath.Join(dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if err := os.Rename(filepath.Join(dir, name), filepath.Join(qdir, name)); err != nil {
+			reason += fmt.Sprintf(" (quarantine move failed: %v)", err)
+		}
+	} else {
+		reason += fmt.Sprintf(" (quarantine dir: %v)", err)
+	}
+	return QuarantinedFile{File: name, Reason: reason}
+}

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// histReport builds a tiny valid report with one workload at the given
+// median and CoV.
+func histReport(median, cov float64) *Report {
+	rep := newReport()
+	rep.Results = append(rep.Results, Result{
+		Name: "t/hist", Repeats: 3,
+		Median: median, Mean: median, Min: median, Max: median,
+		CoV: cov, CILow: median * 0.99, CIHigh: median * 1.01,
+	})
+	return rep
+}
+
+func TestHistoryAppendAndLoad(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "hist")
+	var ids []string
+	for i, commit := range []string{"aaa111", "bbb222", "ccc333"} {
+		e, err := AppendHistory(dir, commit, histReport(float64(i+1), 0.01))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, e.ID)
+		if e.Seq != i+1 {
+			t.Errorf("entry %d seq = %d", i, e.Seq)
+		}
+		if e.EnvHash != CaptureEnv().Hash() {
+			t.Errorf("entry env hash %q != captured %q", e.EnvHash, CaptureEnv().Hash())
+		}
+	}
+	h, err := LoadHistory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Entries) != 3 || len(h.Quarantined) != 0 {
+		t.Fatalf("loaded %d entries, %d quarantined", len(h.Entries), len(h.Quarantined))
+	}
+	for i, e := range h.Entries {
+		if e.ID != ids[i] {
+			t.Errorf("entry %d id = %q, want %q (append order)", i, e.ID, ids[i])
+		}
+		if r := e.Report.Result("t/hist"); r == nil || r.Median != float64(i+1) {
+			t.Errorf("entry %d report corrupted: %+v", i, e.Report.Results)
+		}
+	}
+	if got := h.Entries[1].Commit; got != "bbb222" {
+		t.Errorf("commit = %q", got)
+	}
+	// Tail keeps the most recent entries.
+	if tail := h.Tail(2); len(tail.Entries) != 2 || tail.Entries[0].ID != ids[1] {
+		t.Errorf("Tail(2) = %+v", tail.Entries)
+	}
+	if tail := h.Tail(0); len(tail.Entries) != 3 {
+		t.Errorf("Tail(0) dropped entries")
+	}
+}
+
+func TestHistoryMissingDirErrors(t *testing.T) {
+	if _, err := LoadHistory(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing history dir loaded silently (a typo'd path must not read as an empty history)")
+	}
+}
+
+func TestHistorySanitizesCommit(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "hist")
+	e, err := AppendHistory(dir, "feat/weird name!", histReport(1, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsAny(e.Commit, "/ !") {
+		t.Errorf("commit not sanitized: %q", e.Commit)
+	}
+	e2, err := AppendHistory(dir, "", histReport(1, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Commit != "unknown" {
+		t.Errorf("empty commit = %q, want \"unknown\"", e2.Commit)
+	}
+	if h, err := LoadHistory(dir); err != nil || len(h.Entries) != 2 {
+		t.Fatalf("sanitized entries did not load: %v", err)
+	}
+}
+
+// TestHistoryQuarantinesCorruptEntries pins the quarantine contract:
+// a corrupt file is moved aside and reported, valid entries still load,
+// and the quarantined sequence number is never reused.
+func TestHistoryQuarantinesCorruptEntries(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "hist")
+	if _, err := AppendHistory(dir, "good1", histReport(1, 0.01)); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := AppendHistory(dir, "good2", histReport(1, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt e2 in place (a truncated pre-atomic write) and add a
+	// wrong-schema entry.
+	if err := os.WriteFile(filepath.Join(dir, e2.ID+".json"), []byte(`{"schema":1,"id":"`+e2.ID+`","seq":2,`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badSchema := "hist-000003-bad-00000000.json"
+	if err := os.WriteFile(filepath.Join(dir, badSchema), []byte(`{"schema":99,"id":"hist-000003-bad-00000000"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := LoadHistory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Entries) != 1 || h.Entries[0].Commit != "good1" {
+		t.Fatalf("entries after corruption: %+v", h.Entries)
+	}
+	if len(h.Quarantined) != 2 {
+		t.Fatalf("quarantined = %+v, want 2 files", h.Quarantined)
+	}
+	for _, q := range h.Quarantined {
+		if _, err := os.Stat(filepath.Join(dir, q.File)); !os.IsNotExist(err) {
+			t.Errorf("%s still in the live directory", q.File)
+		}
+		if _, err := os.Stat(filepath.Join(dir, quarantineDir, q.File)); err != nil {
+			t.Errorf("%s not moved to quarantine: %v", q.File, err)
+		}
+		if q.Reason == "" {
+			t.Errorf("%s quarantined without a reason", q.File)
+		}
+	}
+
+	// A second load sees a clean directory.
+	h2, err := LoadHistory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h2.Entries) != 1 || len(h2.Quarantined) != 0 {
+		t.Errorf("second load: %d entries, %d quarantined", len(h2.Entries), len(h2.Quarantined))
+	}
+
+	// The next append must not reuse seq 2 or 3 (both quarantined).
+	e4, err := AppendHistory(dir, "good4", histReport(1, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e4.Seq != 4 {
+		t.Errorf("append after quarantine seq = %d, want 4 (quarantined identities stay reserved)", e4.Seq)
+	}
+}
+
+// TestWriteFileReplacesAtomically pins the temp-file + rename contract:
+// rewriting a report must produce a *new* file (a fresh inode) renamed
+// over the old one, never an in-place truncate-and-write, and must not
+// leave temp files behind.
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_ookami.json")
+	rep := histReport(1, 0.01)
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	st1, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys1, ok1 := st1.Sys().(*syscall.Stat_t)
+	sys2, ok2 := st2.Sys().(*syscall.Stat_t)
+	if ok1 && ok2 && sys1.Ino == sys2.Ino {
+		t.Error("rewrite kept the same inode: report was written in place, not temp-file+renamed")
+	}
+	if _, err := LoadReport(path); err != nil {
+		t.Errorf("rewritten report unreadable: %v", err)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) != 1 {
+		for _, de := range des {
+			t.Logf("left behind: %s", de.Name())
+		}
+		t.Errorf("directory holds %d files after two writes, want 1 (no temp litter)", len(des))
+	}
+	// A failed write (unreachable directory) must not plant a partial
+	// target file.
+	bad := filepath.Join(dir, "no-such-subdir", "x.json")
+	if err := rep.WriteFile(bad); err == nil {
+		t.Error("write into a missing directory succeeded")
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Errorf("failed write left a file: %v", err)
+	}
+}

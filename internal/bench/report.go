@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 )
@@ -107,13 +108,47 @@ func (e *SchemaError) Error() string {
 	return fmt.Sprintf("bench: %s: schema version %d, this tool reads version %d", e.Path, e.Got, SchemaVersion)
 }
 
-// WriteFile writes the report as indented JSON.
+// WriteFile writes the report as indented JSON. The write is atomic
+// (temp file + rename in the target's directory): report files double
+// as committed baselines and history entries, and an in-place write
+// interrupted mid-stream would corrupt the very record the comparator
+// trusts. After WriteFile returns, path holds either the old content
+// or the new — never a truncated mix.
 func (r *Report) WriteFile(path string) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return fmt.Errorf("bench: encode %s: %w", path, err)
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return atomicWriteFile(path, append(data, '\n'))
+}
+
+// atomicWriteFile replaces path with data via a temp file in the same
+// directory (rename is only atomic within one filesystem). Every
+// report, baseline, and history write goes through here.
+func atomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		// CreateTemp opens 0600; match the permissions a plain write
+		// would have produced before handing the file its final name.
+		werr = os.Chmod(tmp, 0o644)
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("bench: write %s: %w", path, werr)
+	}
+	return nil
 }
 
 // LoadReport reads and validates a report file.

@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -79,6 +80,96 @@ func TestRunAllShardedSerialRemeasure(t *testing.T) {
 	}
 	if n := strings.Count(log.String(), "re-measuring serially"); n != 2 {
 		t.Errorf("serial re-measure ran %d times, want 2\nlog:\n%s", n, log.String())
+	}
+}
+
+// TestRunAllShardedMidPoolCancellation pins the cancellation contract
+// when the context dies while the pool is mid-flight (not before it
+// starts): workloads that never began are omitted from the report —
+// the same shape RunAll produces — and the ones that did start appear
+// in input order.
+func TestRunAllShardedMidPoolCancellation(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ws := []Workload{{
+		Name: "shard/cancel",
+		Doc:  "cancels the run from inside its first iteration",
+		Setup: func() (func(), error) {
+			return func() { cancel() }, nil
+		},
+	}}
+	for _, name := range []string{"shard/s1", "shard/s2", "shard/s3", "shard/s4", "shard/s5"} {
+		ws = append(ws, fakeWorkload(name, 5*time.Millisecond))
+	}
+	rep := RunAllSharded(ctx, ws, Options{Repeats: 2, Timeout: 10 * time.Second}, 2)
+	if len(rep.Results) >= len(ws) {
+		t.Fatalf("all %d workloads reported despite mid-pool cancellation", len(rep.Results))
+	}
+	// The reported subset preserves input order.
+	byName := map[string]int{}
+	for i, w := range ws {
+		byName[w.Name] = i
+	}
+	prev := -1
+	for _, r := range rep.Results {
+		idx, ok := byName[r.Name]
+		if !ok {
+			t.Fatalf("unknown result %q", r.Name)
+		}
+		if idx <= prev {
+			t.Errorf("result %q out of input order", r.Name)
+		}
+		prev = idx
+	}
+}
+
+// TestRunAllShardedAttemptsAccumulate pins the serial re-measure
+// bookkeeping: a workload flagged noisy under the pool and re-measured
+// serially reports the attempts of BOTH phases, so the stored result
+// reflects the true measurement cost.
+func TestRunAllShardedAttemptsAccumulate(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	// Setup is called once per runOne invocation, so the phase is
+	// observable: first call (the pool) hands back a jittery function
+	// the CoV gate must flag; the second (the serial re-measure) a
+	// steady one.
+	var setups, calls atomic.Int64
+	jittery := Workload{
+		Name: "shard/two-phase",
+		Doc:  "noisy under the pool, steady when re-measured",
+		Setup: func() (func(), error) {
+			if setups.Add(1) == 1 {
+				return func() {
+					if calls.Add(1)%2 == 0 {
+						time.Sleep(8 * time.Millisecond)
+					} else {
+						time.Sleep(time.Millisecond)
+					}
+				}, nil
+			}
+			return func() { time.Sleep(5 * time.Millisecond) }, nil
+		},
+	}
+	ws := []Workload{jittery, fakeWorkload("shard/steady", 5*time.Millisecond)}
+	// Retries -1 normalizes to 0: exactly one sample set per phase.
+	opt := Options{Repeats: 4, Warmup: 1, Timeout: 10 * time.Second, MaxCoV: 0.5, Retries: -1}
+	rep := RunAllSharded(context.Background(), ws, opt, 2)
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "shard/two-phase" || r.Failed() {
+		t.Fatalf("unexpected result: %+v", r)
+	}
+	if got := setups.Load(); got != 2 {
+		t.Fatalf("setup ran %d time(s), want 2 (pool + serial re-measure)", got)
+	}
+	if r.ErrKind != "" {
+		t.Errorf("steady re-measure left ErrKind %q", r.ErrKind)
+	}
+	if r.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2 (1 noisy pool set + 1 serial set)", r.Attempts)
 	}
 }
 

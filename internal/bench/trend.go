@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+
+	"ookami/internal/stats"
+)
+
+// Trend detection asks the longitudinal question the single-baseline
+// comparator cannot: across the last N recorded runs, did a workload's
+// median *shift levels* at some point — a toolchain update, a kernel
+// change, a host reconfiguration — rather than merely wobble? The
+// detector is a changepoint-style split test: for each workload it
+// scans every split of the run sequence into a before/after segment,
+// keeps the split with the largest level shift, and believes it only
+// under the same two-part evidence rule the comparator uses — the
+// segment-median ratio must clear a noise-widened gate AND the
+// bootstrap confidence intervals of the two segment medians must be
+// disjoint.
+
+// TrendOptions tunes the drift detector.
+type TrendOptions struct {
+	// Threshold is the minimum after/before segment-median ratio
+	// counted as drift before noise widening (default 1.25 — drift
+	// over a history should clear a higher bar than a one-run gate).
+	Threshold float64
+	// NoiseMult widens the gate by NoiseMult times the largest
+	// per-run CoV seen in the series (default 2), exactly as the
+	// comparator widens its own.
+	NoiseMult float64
+	// MinPoints is the minimum number of usable runs a workload needs
+	// before the detector will judge it (default 3).
+	MinPoints int
+}
+
+func (o TrendOptions) withDefaults() TrendOptions {
+	if o.Threshold <= 1 {
+		o.Threshold = 1.25
+	}
+	if o.NoiseMult <= 0 {
+		o.NoiseMult = 2
+	}
+	if o.MinPoints < 2 {
+		o.MinPoints = 3
+	}
+	return o
+}
+
+// WorkloadTrend is the drift verdict for one workload across the
+// history.
+type WorkloadTrend struct {
+	Name string `json:"name"`
+	// Points is the number of usable runs the verdict rests on
+	// (entries missing the workload or carrying a hard failure are
+	// skipped).
+	Points int `json:"points"`
+	// SinceID is the history entry at the chosen split — the first run
+	// of the "after" segment; SinceCommit is its recorded commit.
+	SinceID     string `json:"sinceId,omitempty"`
+	SinceCommit string `json:"sinceCommit,omitempty"`
+	// Before and After are the two segment medians (of per-run
+	// medians); Ratio is After/Before, >1 meaning the workload got
+	// slower at the split.
+	Before float64 `json:"before,omitempty"`
+	After  float64 `json:"after,omitempty"`
+	Ratio  float64 `json:"ratio,omitempty"`
+	// Gate is the ratio the drift had to clear after noise widening.
+	Gate float64 `json:"gate,omitempty"`
+	// CIDisjoint reports that the bootstrap confidence intervals of
+	// the two segment medians do not overlap.
+	CIDisjoint bool `json:"ciDisjoint"`
+	// Drifted: Ratio beyond Gate (in either direction) AND CIDisjoint.
+	Drifted bool `json:"drifted"`
+	// Direction is "slower" or "faster" when Drifted.
+	Direction string `json:"direction,omitempty"`
+	// Note carries a skip reason ("insufficient history: …") for
+	// workloads that could not be judged; such workloads never drift.
+	Note string `json:"note,omitempty"`
+}
+
+// TrendReport is the drift analysis of one loaded history.
+type TrendReport struct {
+	Dir       string          `json:"dir"`
+	Entries   int             `json:"entries"`
+	Workloads []WorkloadTrend `json:"workloads"`
+}
+
+// Drifts returns the workloads flagged as drifting.
+func (t *TrendReport) Drifts() []WorkloadTrend {
+	var out []WorkloadTrend
+	for _, w := range t.Workloads {
+		if w.Drifted {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// trendPoint is one usable run of one workload.
+type trendPoint struct {
+	id, commit string
+	median     float64
+	cov        float64
+}
+
+// DetectTrends analyzes every workload appearing in the history (or
+// those matching filter, when non-nil) for level shifts. Entries are
+// taken in append order; call History.Tail first to bound the window.
+func DetectTrends(h *History, filter *regexp.Regexp, opt TrendOptions) *TrendReport {
+	opt = opt.withDefaults()
+	tr := &TrendReport{Dir: h.Dir, Entries: len(h.Entries)}
+
+	names := map[string]bool{}
+	for i := range h.Entries {
+		for j := range h.Entries[i].Report.Results {
+			name := h.Entries[i].Report.Results[j].Name
+			if filter == nil || filter.MatchString(name) {
+				names[name] = true
+			}
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	for _, name := range sorted {
+		var pts []trendPoint
+		for i := range h.Entries {
+			e := &h.Entries[i]
+			r := e.Report.Result(name)
+			if r == nil || r.Failed() || r.Median <= 0 || math.IsNaN(r.Median) {
+				continue
+			}
+			pts = append(pts, trendPoint{id: e.ID, commit: e.Commit, median: r.Median, cov: r.CoV})
+		}
+		tr.Workloads = append(tr.Workloads, trendOne(name, pts, opt))
+	}
+	return tr
+}
+
+// trendOne judges one workload's run series.
+func trendOne(name string, pts []trendPoint, opt TrendOptions) WorkloadTrend {
+	w := WorkloadTrend{Name: name, Points: len(pts)}
+	if len(pts) < opt.MinPoints {
+		w.Note = fmt.Sprintf("insufficient history: %d usable run(s), need %d", len(pts), opt.MinPoints)
+		return w
+	}
+	medians := make([]float64, len(pts))
+	noise := 0.0
+	for i, p := range pts {
+		medians[i] = p.median
+		if !math.IsNaN(p.cov) && p.cov > noise {
+			noise = p.cov
+		}
+	}
+
+	// The changepoint scan: every split into before=medians[:k] and
+	// after=medians[k:], scored by the L1 changepoint cost — the sum of
+	// absolute deviations of each segment from its own median. The split
+	// that minimizes the cost is where the series most looks like two
+	// flat levels; that one split is then judged, not every split — one
+	// verdict per workload. (Scoring by the shift magnitude instead ties
+	// across every split of a clean step and lands on a lopsided one.)
+	bestK, bestCost := -1, math.Inf(1)
+	for k := 1; k < len(medians); k++ {
+		cost := l1Cost(medians[:k]) + l1Cost(medians[k:])
+		if cost < bestCost {
+			bestCost, bestK = cost, k
+		}
+	}
+	if bestK < 1 {
+		w.Note = "no comparable split"
+		return w
+	}
+	w.SinceID = pts[bestK].id
+	w.SinceCommit = pts[bestK].commit
+	w.Before = stats.Median(medians[:bestK])
+	w.After = stats.Median(medians[bestK:])
+	w.Ratio = w.After / w.Before
+	w.Gate = 1 + math.Max(opt.Threshold-1, opt.NoiseMult*noise)
+
+	// Bootstrap the two segment medians with a seed derived from the
+	// workload and split, so re-analysis of the same history is
+	// bit-for-bit reproducible. A single-run segment yields the
+	// degenerate interval (x, x), which still supports the
+	// disjointness test.
+	seed := nameSeed(name+"/trend") + int64(bestK)
+	bLo, bHi := stats.BootstrapCI(medians[:bestK], stats.Median, 0.95, 1000, seed)
+	aLo, aHi := stats.BootstrapCI(medians[bestK:], stats.Median, 0.95, 1000, seed+1)
+	disjointSlower := aLo > bHi
+	disjointFaster := aHi < bLo
+	w.CIDisjoint = disjointSlower || disjointFaster
+	switch {
+	case w.Ratio > w.Gate && disjointSlower:
+		w.Drifted = true
+		w.Direction = "slower"
+	case w.Ratio < 1/w.Gate && disjointFaster:
+		w.Drifted = true
+		w.Direction = "faster"
+	}
+	return w
+}
+
+// l1Cost is the within-segment fit cost: the sum of absolute
+// deviations from the segment median, minimized (over all partitions)
+// exactly when the segment is one flat level.
+func l1Cost(xs []float64) float64 {
+	m := stats.Median(xs)
+	cost := 0.0
+	for _, x := range xs {
+		cost += math.Abs(x - m)
+	}
+	return cost
+}
+
+// Table renders the analysis benchstat-style: one row per workload
+// with the segment medians, the shift, and the verdict.
+func (t *TrendReport) Table() *stats.Table {
+	tb := stats.NewTable("", "workload", "runs", "before", "after", "shift", "verdict")
+	for _, w := range t.Workloads {
+		verdict := "~"
+		switch {
+		case w.Drifted:
+			verdict = fmt.Sprintf("DRIFT (%s) since %s", w.Direction, w.SinceID)
+		case w.Note != "":
+			verdict = "skip (" + w.Note + ")"
+		}
+		shift, before, after := "", "-", "-"
+		if w.Ratio > 0 {
+			shift = fmt.Sprintf("%+.1f%%", 100*(w.Ratio-1))
+			before, after = formatSeconds(w.Before), formatSeconds(w.After)
+		}
+		tb.AddRow(w.Name, fmt.Sprint(w.Points), before, after, shift, verdict)
+	}
+	return tb
+}

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// trendHistory builds an in-memory history whose entries each carry the
+// given workloads at the given medians; medians[i][name] maps workload
+// name to that entry's median (a missing name omits the workload from
+// that entry, a negative median records a hard failure).
+func trendHistory(t *testing.T, runs []map[string]float64, cov float64) *History {
+	t.Helper()
+	h := &History{Dir: "mem"}
+	for i, run := range runs {
+		rep := newReport()
+		for name, median := range run {
+			r := Result{Name: name, Repeats: 3}
+			if median < 0 {
+				r.Error = "boom"
+				r.ErrKind = ErrPanic
+			} else {
+				r.Median, r.Mean, r.Min, r.Max = median, median, median, median
+				r.CoV = cov
+				r.CILow, r.CIHigh = median*(1-cov), median*(1+cov)
+			}
+			rep.Results = append(rep.Results, r)
+		}
+		h.Entries = append(h.Entries, HistoryEntry{
+			Schema: HistorySchemaVersion,
+			ID:     idFor(i), Seq: i + 1,
+			Commit: commitFor(i), EnvHash: rep.Env.Hash(),
+			Report: rep,
+		})
+	}
+	return h
+}
+
+func idFor(i int) string {
+	return []string{"hist-000001-c1-0", "hist-000002-c2-0", "hist-000003-c3-0", "hist-000004-c4-0", "hist-000005-c5-0", "hist-000006-c6-0"}[i]
+}
+func commitFor(i int) string { return []string{"c1", "c2", "c3", "c4", "c5", "c6"}[i] }
+
+func trendFor(t *testing.T, tr *TrendReport, name string) WorkloadTrend {
+	t.Helper()
+	for _, w := range tr.Workloads {
+		if w.Name == name {
+			return w
+		}
+	}
+	t.Fatalf("workload %q not analyzed; have %+v", name, tr.Workloads)
+	return WorkloadTrend{}
+}
+
+// TestTrendDetectsInjectedSlowdown is the acceptance-criterion case: a
+// 2x level shift across three history entries must be flagged, with the
+// split placed at the first slow run.
+func TestTrendDetectsInjectedSlowdown(t *testing.T) {
+	h := trendHistory(t, []map[string]float64{
+		{"t/a": 1e-3}, {"t/a": 1e-3}, {"t/a": 2e-3},
+	}, 0.01)
+	tr := DetectTrends(h, nil, TrendOptions{})
+	w := trendFor(t, tr, "t/a")
+	if !w.Drifted || w.Direction != "slower" {
+		t.Fatalf("2x slowdown not flagged: %+v", w)
+	}
+	if w.SinceID != idFor(2) || w.SinceCommit != "c3" {
+		t.Errorf("drift attributed to %s/%s, want third entry", w.SinceID, w.SinceCommit)
+	}
+	if math.Abs(w.Ratio-2) > 1e-9 {
+		t.Errorf("ratio = %v, want 2", w.Ratio)
+	}
+	if len(tr.Drifts()) != 1 {
+		t.Errorf("Drifts() = %+v", tr.Drifts())
+	}
+	if !strings.Contains(tr.Table().String(), "DRIFT (slower)") {
+		t.Errorf("table missing drift verdict:\n%s", tr.Table())
+	}
+}
+
+func TestTrendDetectsSpeedup(t *testing.T) {
+	h := trendHistory(t, []map[string]float64{
+		{"t/a": 2e-3}, {"t/a": 2e-3}, {"t/a": 1e-3}, {"t/a": 1e-3},
+	}, 0.01)
+	w := trendFor(t, DetectTrends(h, nil, TrendOptions{}), "t/a")
+	if !w.Drifted || w.Direction != "faster" {
+		t.Fatalf("2x speedup not flagged: %+v", w)
+	}
+	if w.SinceID != idFor(2) {
+		t.Errorf("split at %s, want third entry", w.SinceID)
+	}
+}
+
+func TestTrendFlatSeriesQuiet(t *testing.T) {
+	h := trendHistory(t, []map[string]float64{
+		{"t/a": 1e-3}, {"t/a": 1.01e-3}, {"t/a": 0.99e-3}, {"t/a": 1e-3},
+	}, 0.02)
+	w := trendFor(t, DetectTrends(h, nil, TrendOptions{}), "t/a")
+	if w.Drifted {
+		t.Fatalf("flat series flagged as drift: %+v", w)
+	}
+}
+
+// TestTrendNoiseWidensGate pins the evidence rule: a shift that would
+// clear the base threshold must still be ignored when the series' own
+// run-to-run noise explains it.
+func TestTrendNoiseWidensGate(t *testing.T) {
+	runs := []map[string]float64{
+		{"t/a": 1e-3}, {"t/a": 1e-3}, {"t/a": 1.3e-3},
+	}
+	// Quiet series: a +30% shift clears the default 1.25 gate.
+	quiet := trendFor(t, DetectTrends(trendHistory(t, runs, 0.01), nil, TrendOptions{}), "t/a")
+	if !quiet.Drifted {
+		t.Fatalf("+30%% shift on a quiet series not flagged: %+v", quiet)
+	}
+	// Noisy series: CoV 0.2 widens the gate to 1+2*0.2 = 1.4 > 1.3.
+	noisy := trendFor(t, DetectTrends(trendHistory(t, runs, 0.2), nil, TrendOptions{}), "t/a")
+	if noisy.Drifted {
+		t.Fatalf("+30%% shift inside 20%% noise flagged as drift: %+v", noisy)
+	}
+	if noisy.Gate < 1.4-1e-9 {
+		t.Errorf("gate = %v, want noise-widened to 1.4", noisy.Gate)
+	}
+}
+
+func TestTrendInsufficientHistory(t *testing.T) {
+	h := trendHistory(t, []map[string]float64{
+		{"t/a": 1e-3}, {"t/a": 2e-3},
+	}, 0.01)
+	w := trendFor(t, DetectTrends(h, nil, TrendOptions{}), "t/a")
+	if w.Drifted {
+		t.Fatal("two-point series judged")
+	}
+	if !strings.Contains(w.Note, "insufficient history") {
+		t.Errorf("note = %q", w.Note)
+	}
+}
+
+// TestTrendSkipsUnusableRuns: entries where the workload is missing,
+// failed, or carries a non-positive median do not contribute points —
+// and a workload can still drift on the runs that remain.
+func TestTrendSkipsUnusableRuns(t *testing.T) {
+	h := trendHistory(t, []map[string]float64{
+		{"t/a": 1e-3, "t/b": 1e-3},
+		{"t/b": 1e-3},            // t/a missing
+		{"t/a": -1, "t/b": 1e-3}, // t/a failed
+		{"t/a": 1e-3, "t/b": 1e-3},
+		{"t/a": 2e-3, "t/b": 1e-3},
+		{"t/a": 2e-3, "t/b": 1e-3},
+	}, 0.01)
+	tr := DetectTrends(h, nil, TrendOptions{})
+	a := trendFor(t, tr, "t/a")
+	if a.Points != 4 {
+		t.Errorf("t/a points = %d, want 4 (missing and failed runs skipped)", a.Points)
+	}
+	if !a.Drifted || a.Direction != "slower" || a.SinceID != idFor(4) {
+		t.Errorf("t/a drift on remaining runs: %+v", a)
+	}
+	if b := trendFor(t, tr, "t/b"); b.Drifted {
+		t.Errorf("flat t/b flagged: %+v", b)
+	}
+}
+
+func TestTrendFilter(t *testing.T) {
+	h := trendHistory(t, []map[string]float64{
+		{"t/a": 1e-3, "u/b": 1e-3},
+		{"t/a": 1e-3, "u/b": 1e-3},
+		{"t/a": 1e-3, "u/b": 1e-3},
+	}, 0.01)
+	tr := DetectTrends(h, regexp.MustCompile(`^u/`), TrendOptions{})
+	if len(tr.Workloads) != 1 || tr.Workloads[0].Name != "u/b" {
+		t.Fatalf("filtered workloads = %+v", tr.Workloads)
+	}
+}
+
+// TestTrendDeterministic: same history, same verdict, bit for bit.
+func TestTrendDeterministic(t *testing.T) {
+	runs := []map[string]float64{
+		{"t/a": 1e-3}, {"t/a": 1.1e-3}, {"t/a": 1.9e-3}, {"t/a": 2.1e-3},
+	}
+	t1 := DetectTrends(trendHistory(t, runs, 0.05), nil, TrendOptions{})
+	t2 := DetectTrends(trendHistory(t, runs, 0.05), nil, TrendOptions{})
+	if t1.Table().String() != t2.Table().String() {
+		t.Fatal("trend analysis not deterministic across identical histories")
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 
@@ -21,6 +22,12 @@ type benchStore struct {
 }
 
 func newBenchStore(max int) *benchStore {
+	// Clamp at construction: put() evicts while len(order) > max, so a
+	// zero or negative capacity would evict the run just stored and
+	// every ingest would 201 an id that can never be fetched.
+	if max < 1 {
+		max = 1
+	}
 	return &benchStore{max: max, runs: make(map[string]*bench.Report)}
 }
 
@@ -60,10 +67,12 @@ func (st *benchStore) list() []string {
 	return append([]string(nil), st.order...)
 }
 
-// ingestResponse is the POST /v1/bench/runs answer.
+// ingestResponse is the POST /v1/bench/runs answer. HistoryID is set
+// when the server also appended the run to its result history.
 type ingestResponse struct {
-	ID      string `json:"id"`
-	Results int    `json:"results"`
+	ID        string `json:"id"`
+	Results   int    `json:"results"`
+	HistoryID string `json:"historyId,omitempty"`
 }
 
 // handleBenchIngest accepts a BENCH_*.json report body. The connection
@@ -76,8 +85,17 @@ func (s *Server) handleBenchIngest(w http.ResponseWriter, r *http.Request) {
 	_ = rc.SetReadDeadline(s.cfg.Now().Add(s.cfg.ReadTimeout))
 	var rep bench.Report
 	dec := json.NewDecoder(r.Body)
+	// Strict decoding: an unknown field is a schema mismatch the version
+	// number failed to catch (a future writer, a typo'd hand edit), and
+	// trailing bytes mean the body was not one report. Both are caught
+	// here rather than stored and misread later.
+	dec.DisallowUnknownFields()
 	if err := dec.Decode(&rep); err != nil {
 		writeDecodeError(w, err)
+		return
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		writeError(w, http.StatusBadRequest, "trailing data after the report object")
 		return
 	}
 	if rep.Schema != bench.SchemaVersion {
@@ -89,8 +107,17 @@ func (s *Server) handleBenchIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "report has no results")
 		return
 	}
-	id := s.store.put(&rep)
-	writeJSON(w, http.StatusCreated, ingestResponse{ID: id, Results: len(rep.Results)})
+	resp := ingestResponse{Results: len(rep.Results)}
+	if s.cfg.HistoryDir != "" {
+		entry, err := s.appendHistory(r.URL.Query().Get("commit"), &rep)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("history append: %v", err))
+			return
+		}
+		resp.HistoryID = entry.ID
+	}
+	resp.ID = s.store.put(&rep)
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 // listResponse is the GET /v1/bench/runs answer.

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"regexp"
+	"strconv"
+
+	"ookami/internal/bench"
+)
+
+// History endpoints: when the server is configured with a history
+// directory (Config.HistoryDir), ingested runs are also appended to
+// the durable result history, and GET /v1/bench/history and
+// /v1/bench/trend expose the stored runs and the drift analysis over
+// them. Unconfigured, both report 503 — the same shape as the compare
+// endpoint without a baseline.
+
+// appendHistory serializes history writes: bench.AppendHistory scans
+// the directory for the next sequence number, so two concurrent
+// ingests must not interleave scan and write.
+func (s *Server) appendHistory(commit string, rep *bench.Report) (*bench.HistoryEntry, error) {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	return bench.AppendHistory(s.cfg.HistoryDir, commit, rep)
+}
+
+// loadHistory reads the configured history for a GET handler. A
+// missing directory is an empty history here — the server may simply
+// not have recorded a run yet — unlike the CLI, where a typo'd -dir
+// must fail loudly.
+func (s *Server) loadHistory() (*bench.History, error) {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	h, err := bench.LoadHistory(s.cfg.HistoryDir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return &bench.History{Dir: s.cfg.HistoryDir}, nil
+		}
+		return nil, err
+	}
+	return h, nil
+}
+
+// parseLast reads the optional ?last=n query parameter.
+func parseLast(r *http.Request) (int, error) {
+	v := r.URL.Query().Get("last")
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad last %q: want a non-negative integer", v)
+	}
+	return n, nil
+}
+
+// historyRun is one stored run as listed by GET /v1/bench/history.
+type historyRun struct {
+	ID        string `json:"id"`
+	Seq       int    `json:"seq"`
+	Commit    string `json:"commit"`
+	EnvHash   string `json:"envHash"`
+	CreatedAt string `json:"createdAt"`
+	Results   int    `json:"results"`
+	Failed    int    `json:"failed"`
+}
+
+// historyResponse is the GET /v1/bench/history answer.
+type historyResponse struct {
+	Dir         string       `json:"dir"`
+	Runs        []historyRun `json:"runs"`
+	Quarantined int          `json:"quarantined"`
+}
+
+func (s *Server) handleBenchHistory(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.HistoryDir == "" {
+		writeError(w, http.StatusServiceUnavailable, "no history directory configured (start with -history)")
+		return
+	}
+	last, err := parseLast(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	h, err := s.loadHistory()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	h = h.Tail(last)
+	resp := historyResponse{Dir: h.Dir, Runs: []historyRun{}, Quarantined: len(h.Quarantined)}
+	for i := range h.Entries {
+		e := &h.Entries[i]
+		run := historyRun{
+			ID: e.ID, Seq: e.Seq, Commit: e.Commit, EnvHash: e.EnvHash,
+			CreatedAt: e.Report.CreatedAt, Results: len(e.Report.Results),
+		}
+		for j := range e.Report.Results {
+			if e.Report.Results[j].Failed() {
+				run.Failed++
+			}
+		}
+		resp.Runs = append(resp.Runs, run)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// trendResponse is the GET /v1/bench/trend answer: the drift analysis
+// across the stored runs, mirroring compareResponse's shape.
+type trendResponse struct {
+	Dir     string   `json:"dir"`
+	Entries int      `json:"entries"`
+	Drifts  []string `json:"drifts"`
+	Table   string   `json:"table"`
+}
+
+// handleBenchTrend runs the drift detector over the history
+// (?last=n bounds the window, ?workload=re filters names).
+func (s *Server) handleBenchTrend(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.HistoryDir == "" {
+		writeError(w, http.StatusServiceUnavailable, "no history directory configured (start with -history)")
+		return
+	}
+	last, err := parseLast(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var re *regexp.Regexp
+	if pat := r.URL.Query().Get("workload"); pat != "" {
+		if re, err = regexp.Compile(pat); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad workload pattern: %v", err))
+			return
+		}
+	}
+	h, err := s.loadHistory()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	tr := bench.DetectTrends(h.Tail(last), re, bench.TrendOptions{})
+	resp := trendResponse{
+		Dir:     tr.Dir,
+		Entries: tr.Entries,
+		Drifts:  []string{},
+		Table:   tr.Table().String(),
+	}
+	for _, d := range tr.Drifts() {
+		resp.Drifts = append(resp.Drifts, d.Name)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ookami/internal/bench"
+	"ookami/internal/testutil"
+)
+
+// TestBenchStoreClampsCapacity pins the construction clamp: a store
+// built with a non-positive capacity must still retain the run it just
+// accepted. (Unclamped, put() evicts while len > max, so max 0 drops
+// the new run immediately and every ingest returns a dangling id.)
+func TestBenchStoreClampsCapacity(t *testing.T) {
+	for _, max := range []int{0, -5} {
+		st := newBenchStore(max)
+		rep := &bench.Report{Schema: bench.SchemaVersion}
+		id := st.put(rep)
+		if got, _, ok := st.get(id); !ok || got != rep {
+			t.Errorf("newBenchStore(%d): run %s evicted at ingest", max, id)
+		}
+		if runs := st.list(); len(runs) != 1 {
+			t.Errorf("newBenchStore(%d): list = %v", max, runs)
+		}
+	}
+}
+
+// synthReport marshals a one-result report with the given median and a
+// tight CI, for ingest bodies.
+func synthReport(t *testing.T, name string, median float64) string {
+	t.Helper()
+	rep := bench.Report{
+		Schema:    bench.SchemaVersion,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Env:       bench.CaptureEnv(),
+		Results: []bench.Result{{
+			Name: name, Repeats: 3,
+			Median: median, Mean: median, Min: median, Max: median,
+			CoV: 0.01, CILow: median * 0.99, CIHigh: median * 1.01,
+		}},
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestBenchIngestStrict pins the strict decoder: unknown fields and
+// trailing bytes are 400s, not silently-dropped data.
+func TestBenchIngestStrict(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	s := newTestServer(t, Config{})
+	for name, body := range map[string]string{
+		"unknown field":    `{"schema":1,"surprise":true,"results":[{"name":"x","median":1}]}`,
+		"trailing garbage": `{"schema":1,"results":[{"name":"x","median":1}]}{"schema":1}`,
+		"trailing junk":    `{"schema":1,"results":[{"name":"x","median":1}]}]]`,
+	} {
+		if w := do(s, "POST", "/v1/bench/runs", body, nil); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", name, w.Code, w.Body)
+		}
+	}
+	// A clean report still lands.
+	if w := do(s, "POST", "/v1/bench/runs", synthReport(t, "t/ok", 1e-3), nil); w.Code != http.StatusCreated {
+		t.Errorf("clean ingest: status %d: %s", w.Code, w.Body)
+	}
+}
+
+func TestBenchHistoryUnconfigured(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	s := newTestServer(t, Config{})
+	for _, path := range []string{"/v1/bench/history", "/v1/bench/trend"} {
+		if w := do(s, "GET", path, "", nil); w.Code != http.StatusServiceUnavailable {
+			t.Errorf("GET %s without HistoryDir: status %d, want 503", path, w.Code)
+		}
+	}
+}
+
+// TestBenchHistoryAndTrendEndpoints drives the full server-side loop:
+// three ingests (the last 2x slower) recorded to history, listed by
+// /v1/bench/history, and flagged by /v1/bench/trend.
+func TestBenchHistoryAndTrendEndpoints(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	dir := filepath.Join(t.TempDir(), "hist")
+	s := newTestServer(t, Config{HistoryDir: dir})
+
+	// Before any ingest the (not yet created) directory reads as empty.
+	w := do(s, "GET", "/v1/bench/history", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("empty history: status %d: %s", w.Code, w.Body)
+	}
+	var hr historyResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &hr); err != nil || len(hr.Runs) != 0 {
+		t.Fatalf("empty history: %v %+v", err, hr)
+	}
+
+	for i, median := range []float64{1e-3, 1e-3, 2e-3} {
+		w := do(s, "POST", fmt.Sprintf("/v1/bench/runs?commit=c%d", i+1), synthReport(t, "t/drift", median), nil)
+		if w.Code != http.StatusCreated {
+			t.Fatalf("ingest %d: status %d: %s", i, w.Code, w.Body)
+		}
+		var resp ingestResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil || resp.HistoryID == "" {
+			t.Fatalf("ingest %d response lacks historyId: %s", i, w.Body)
+		}
+	}
+
+	w = do(s, "GET", "/v1/bench/history", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("history: status %d: %s", w.Code, w.Body)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if len(hr.Runs) != 3 || hr.Runs[0].Commit != "c1" || hr.Runs[2].Commit != "c3" {
+		t.Fatalf("history runs = %+v", hr.Runs)
+	}
+	if hr.Runs[0].Results != 1 || hr.Runs[0].Failed != 0 {
+		t.Errorf("run summary = %+v", hr.Runs[0])
+	}
+
+	w = do(s, "GET", "/v1/bench/history?last=2", "", nil)
+	if err := json.Unmarshal(w.Body.Bytes(), &hr); err != nil || len(hr.Runs) != 2 || hr.Runs[0].Commit != "c2" {
+		t.Errorf("history?last=2 = %+v (%v)", hr.Runs, err)
+	}
+
+	w = do(s, "GET", "/v1/bench/trend", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("trend: status %d: %s", w.Code, w.Body)
+	}
+	var tr trendResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Entries != 3 || len(tr.Drifts) != 1 || tr.Drifts[0] != "t/drift" {
+		t.Fatalf("trend response = %+v (a 2x shift across 3 runs must drift)", tr)
+	}
+
+	// A filter excluding the drifter yields no drifts.
+	w = do(s, "GET", "/v1/bench/trend?workload=%5Enope%24", "", nil)
+	if err := json.Unmarshal(w.Body.Bytes(), &tr); err != nil || len(tr.Drifts) != 0 {
+		t.Errorf("filtered trend = %+v (%v)", tr, err)
+	}
+
+	// Malformed query parameters are 400s.
+	for _, path := range []string{
+		"/v1/bench/history?last=x", "/v1/bench/history?last=-1",
+		"/v1/bench/trend?last=x", "/v1/bench/trend?workload=%5B",
+	} {
+		if w := do(s, "GET", path, "", nil); w.Code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, w.Code)
+		}
+	}
+}

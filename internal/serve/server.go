@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -53,6 +54,11 @@ type Config struct {
 	// diffs against. Empty selects bench.DefaultBaselinePath; a missing
 	// file disables the compare endpoint (503) without failing startup.
 	BaselinePath string
+
+	// HistoryDir is the on-disk result history: ingested runs are
+	// appended to it and /v1/bench/history and /v1/bench/trend read it.
+	// Empty (the default) disables the history endpoints (503).
+	HistoryDir string
 
 	// Now is the clock, injectable for rate-limiter and metrics tests.
 	Now func() time.Time
@@ -101,6 +107,7 @@ type Server struct {
 	metrics  *metrics
 	store    *benchStore
 	baseline *bench.Report // nil when the baseline file is absent
+	histMu   sync.Mutex    // serializes history appends (seq scan + write)
 	mux      *http.ServeMux
 
 	httpSrv  *http.Server
@@ -153,6 +160,8 @@ func (s *Server) routes() {
 	api("POST /v1/bench/runs", "/v1/bench/runs", s.handleBenchIngest)
 	api("GET /v1/bench/runs", "/v1/bench/runs", s.handleBenchList)
 	api("GET /v1/bench/compare", "/v1/bench/compare", s.handleBenchCompare)
+	api("GET /v1/bench/history", "/v1/bench/history", s.handleBenchHistory)
+	api("GET /v1/bench/trend", "/v1/bench/trend", s.handleBenchTrend)
 	bare("GET /healthz", "/healthz", s.handleHealthz)
 	bare("GET /metrics", "/metrics", s.handleMetrics)
 }

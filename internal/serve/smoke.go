@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	"ookami/internal/bench"
@@ -20,7 +21,12 @@ import (
 // held to floor req/s with every response checked byte-identical to the
 // direct library call, and a clean drain.
 func Smoke(out io.Writer, workers, perWorker int, floor float64) error {
-	s := New(Config{Rate: -1}) // the load burst must not be throttled
+	histDir, err := os.MkdirTemp("", "ookami-serve-smoke-hist-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(histDir)
+	s := New(Config{Rate: -1, HistoryDir: histDir}) // the load burst must not be throttled
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -155,6 +161,44 @@ func smokeBench(out io.Writer, base string, s *Server) error {
 	default:
 		return fmt.Errorf("GET /v1/bench/compare: status %d: %s", resp.StatusCode, body)
 	}
+
+	// A second ingest, then the history endpoints: the two runs must be
+	// listed, and the trend endpoint must answer (too few runs to judge,
+	// but the analysis itself must succeed).
+	resp, err = http.Post(base+"/v1/bench/runs?commit=smoke2", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("POST /v1/bench/runs (2nd): status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/v1/bench/history")
+	if err != nil {
+		return err
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var hist struct {
+		Runs []struct {
+			ID string `json:"id"`
+		} `json:"runs"`
+	}
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &hist) != nil || len(hist.Runs) != 2 {
+		return fmt.Errorf("GET /v1/bench/history: status %d, %d runs (want 2): %s", resp.StatusCode, len(hist.Runs), body)
+	}
+	fmt.Fprintf(out, "GET /v1/bench/history ok: %d stored run(s)\n", len(hist.Runs))
+	resp, err = http.Get(base + "/v1/bench/trend")
+	if err != nil {
+		return err
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/bench/trend: status %d: %s", resp.StatusCode, body)
+	}
+	fmt.Fprintf(out, "GET /v1/bench/trend ok (%d bytes)\n", len(body))
 	return nil
 }
 
